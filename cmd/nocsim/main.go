@@ -1,0 +1,93 @@
+// Command nocsim runs a single network simulation and reports latency,
+// throughput and blocking statistics.
+//
+// Usage:
+//
+//	nocsim [flags]
+//	nocsim -print-config            # show the Table 2 baseline
+//	nocsim -alg dbar -pattern transpose -rate 0.35
+//	nocsim -width 16 -height 16 -vcs 4 -rate 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nocsim/internal/exp"
+	"nocsim/internal/flit"
+	"nocsim/internal/sim"
+	"nocsim/internal/traffic"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	flag.IntVar(&cfg.Width, "width", cfg.Width, "mesh width")
+	flag.IntVar(&cfg.Height, "height", cfg.Height, "mesh height")
+	flag.IntVar(&cfg.VCs, "vcs", cfg.VCs, "virtual channels per physical channel")
+	flag.IntVar(&cfg.BufDepth, "buf", cfg.BufDepth, "flit buffer depth per VC")
+	flag.IntVar(&cfg.Speedup, "speedup", cfg.Speedup, "router internal speedup")
+	flag.StringVar(&cfg.Algorithm, "alg", cfg.Algorithm, "routing algorithm")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Int64Var(&cfg.WarmupCycles, "warmup", cfg.WarmupCycles, "warmup cycles")
+	flag.Int64Var(&cfg.MeasureCycles, "measure", cfg.MeasureCycles, "measurement cycles")
+	flag.Int64Var(&cfg.DrainCycles, "drain", cfg.DrainCycles, "drain cycle budget")
+
+	pattern := flag.String("pattern", "uniform", "traffic pattern (uniform|transpose|shuffle|bitcomp)")
+	rate := flag.Float64("rate", 0.2, "offered load in flits/node/cycle")
+	minFlits := flag.Int("min-flits", 1, "minimum packet size")
+	maxFlits := flag.Int("max-flits", 1, "maximum packet size")
+	printConfig := flag.Bool("print-config", false, "print the configuration (Table 2) and exit")
+	heatmap := flag.Bool("heatmap", false, "print a link-utilization heatmap of the measurement window")
+	flag.Parse()
+
+	if *printConfig {
+		fmt.Print(exp.Table2(cfg))
+		return
+	}
+
+	p, err := traffic.ByName(*pattern, cfg.Mesh())
+	if err != nil {
+		fatal(err)
+	}
+	var size traffic.SizeFn
+	if *minFlits == *maxFlits {
+		size = traffic.FixedSize(*minFlits)
+	} else {
+		size = traffic.UniformSize(*minFlits, *maxFlits)
+	}
+	s, err := sim.New(cfg, &traffic.Generator{Pattern: p, Rate: *rate, Size: size})
+	if err != nil {
+		fatal(err)
+	}
+	var probe *sim.UtilizationProbe
+	if *heatmap {
+		probe = sim.NewUtilizationProbe(s.Network())
+	}
+	res := s.Run()
+
+	fmt.Printf("algorithm          %s\n", cfg.Algorithm)
+	fmt.Printf("mesh               %dx%d, %d VCs\n", cfg.Width, cfg.Height, cfg.VCs)
+	fmt.Printf("pattern            %s @ %.3f flits/node/cycle\n", *pattern, *rate)
+	fmt.Printf("offered/accepted   %.3f / %.3f flits/node/cycle\n", res.Offered, res.Accepted)
+	fmt.Printf("avg latency        %.1f cycles\n", res.AvgLatency(flit.ClassBackground))
+	fmt.Printf("p99 latency        %.0f cycles\n", res.P99)
+	fmt.Printf("stable             %v (%d/%d measured packets delivered)\n",
+		res.Stable, res.MeasuredEjected, res.Measured)
+	fmt.Printf("blocking           %d events, purity %.3f, HoL degree %.1f\n",
+		res.BlockEvents, res.Purity, res.HoLDegree)
+	if probe != nil {
+		snap := probe.Snapshot(cfg.Mesh())
+		fmt.Printf("\nmean link utilization %.3f over %d cycles (whole run)\n", snap.Mean(), snap.Cycles)
+		fmt.Print(snap.Heatmap(cfg.Mesh()))
+		fmt.Println("hottest links:")
+		for _, l := range snap.Hottest(5) {
+			fmt.Printf("  n%-3d -%s-> n%-3d %.3f flits/cycle\n", l.From, l.Dir, l.To, l.Utilization)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

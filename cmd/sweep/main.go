@@ -1,0 +1,62 @@
+// Command sweep regenerates the latency-throughput figures of the paper:
+//
+//	sweep -figure 5                 # Figure 5: 7 algorithms, single-flit
+//	sweep -figure 6                 # Figure 6: variable packet size
+//	sweep -figure 7                 # Figure 7: Footprint vs DBAR, VC sweep
+//	sweep -figure 5 -pattern shuffle -profile quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nocsim/internal/exp"
+)
+
+func main() {
+	figure := flag.Int("figure", 5, "figure to regenerate (5, 6 or 7)")
+	pattern := flag.String("pattern", "", "restrict to one pattern (default: all three)")
+	profile := flag.String("profile", "full", "effort level: full or quick")
+	flag.Parse()
+
+	prof := exp.FullProfile()
+	if *profile == "quick" {
+		prof = exp.QuickProfile()
+	}
+
+	patterns := exp.SyntheticPatterns()
+	if *pattern != "" {
+		patterns = []string{*pattern}
+	}
+
+	for _, p := range patterns {
+		switch *figure {
+		case 5:
+			cs, err := exp.Figure5(prof, p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(cs.Format())
+		case 6:
+			cs, err := exp.Figure6(prof, p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(cs.Format())
+		case 7:
+			vs, err := exp.Figure7(prof, p, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(vs.Format())
+		default:
+			fatal(fmt.Errorf("unknown figure %d (want 5, 6 or 7)", *figure))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Adaptiveness: compute the paper's two-level routing adaptiveness
+// (Section 3.1) for every implemented algorithm, regenerate Table 1, and
+// print the Section 4.4 hardware cost model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocsim"
+	"nocsim/internal/exp"
+)
+
+func main() {
+	cfg := nocsim.DefaultConfig()
+
+	fmt.Println("== two-level routing adaptiveness (Section 3.1) ==")
+	fmt.Printf("%-16s %22s %10s\n", "algorithm", "P_adapt(n0 -> n27)", "VC_adapt")
+	for _, alg := range nocsim.Algorithms() {
+		pa, err := nocsim.PortAdaptiveness(cfg, alg, 0, 27)
+		if err != nil {
+			log.Fatal(err)
+		}
+		va, err := nocsim.VCAdaptiveness(alg, cfg.VCs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %22.3f %10.3f\n", alg, pa, va)
+	}
+
+	fmt.Println("\n== Table 1 and network-wide means ==")
+	fmt.Println(exp.Table1().Format())
+
+	fmt.Println("== Section 4.4: Footprint storage cost ==")
+	for _, c := range []struct{ nodes, vcs int }{{64, 10}, {64, 16}, {256, 16}} {
+		fmt.Printf("%3d nodes, %2d VCs: %d bits per port\n",
+			c.nodes, c.vcs, nocsim.FootprintCostBits(c.nodes, c.vcs))
+	}
+}

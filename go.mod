@@ -1,0 +1,3 @@
+module nocsim
+
+go 1.22

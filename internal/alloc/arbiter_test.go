@@ -1,0 +1,137 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinFairness(t *testing.T) {
+	a := NewRoundRobin(4)
+	all := []bool{true, true, true, true}
+	var order []int
+	for i := 0; i < 8; i++ {
+		order = append(order, a.Arbitrate(all))
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant sequence %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsIdle(t *testing.T) {
+	a := NewRoundRobin(4)
+	if got := a.Arbitrate([]bool{false, false, true, false}); got != 2 {
+		t.Errorf("grant = %d, want 2", got)
+	}
+	// Pointer advanced past 2; only requester 0 active now.
+	if got := a.Arbitrate([]bool{true, false, false, false}); got != 0 {
+		t.Errorf("grant = %d, want 0", got)
+	}
+}
+
+func TestRoundRobinNoRequest(t *testing.T) {
+	a := NewRoundRobin(3)
+	if got := a.Arbitrate([]bool{false, false, false}); got != -1 {
+		t.Errorf("grant = %d, want -1", got)
+	}
+	// State unchanged: next grant starts from 0.
+	if got := a.Arbitrate([]bool{true, true, true}); got != 0 {
+		t.Errorf("grant = %d, want 0", got)
+	}
+}
+
+func TestRoundRobinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	NewRoundRobin(2).Arbitrate([]bool{true})
+}
+
+func TestNewRoundRobinValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRoundRobin(0) did not panic")
+		}
+	}()
+	NewRoundRobin(0)
+}
+
+func TestPriorityRoundRobinPicksHighest(t *testing.T) {
+	a := NewPriorityRoundRobin(4)
+	got := a.Arbitrate([]Priority{Low, Highest, High, Highest})
+	if got != 1 {
+		t.Errorf("grant = %d, want 1 (first Highest)", got)
+	}
+	// Round robin among equals: next Highest tie should go to 3.
+	got = a.Arbitrate([]Priority{Low, Highest, High, Highest})
+	if got != 3 {
+		t.Errorf("grant = %d, want 3", got)
+	}
+}
+
+func TestPriorityRoundRobinNone(t *testing.T) {
+	a := NewPriorityRoundRobin(2)
+	if got := a.Arbitrate([]Priority{None, None}); got != -1 {
+		t.Errorf("grant = %d, want -1", got)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	if !(None < Lowest && Lowest < Low && Low < High && High < Highest) {
+		t.Error("priority ordering broken")
+	}
+	names := map[Priority]string{None: "none", Lowest: "lowest", Low: "low", High: "high", Highest: "highest"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if Priority(99).String() != "invalid" {
+		t.Error("invalid priority string")
+	}
+}
+
+// Property: round-robin always grants a requester that actually requested.
+func TestRoundRobinGrantsRequester(t *testing.T) {
+	a := NewRoundRobin(8)
+	f := func(bits uint8) bool {
+		reqs := make([]bool, 8)
+		any := false
+		for i := range reqs {
+			reqs[i] = bits&(1<<i) != 0
+			any = any || reqs[i]
+		}
+		g := a.Arbitrate(reqs)
+		if !any {
+			return g == -1
+		}
+		return g >= 0 && g < 8 && reqs[g]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under persistent full load, every requester is granted exactly
+// once per n cycles (strong fairness).
+func TestRoundRobinStrongFairness(t *testing.T) {
+	const n = 5
+	a := NewRoundRobin(n)
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	counts := make([]int, n)
+	for i := 0; i < 10*n; i++ {
+		counts[a.Arbitrate(all)]++
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Errorf("requester %d granted %d times, want 10", i, c)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package alloc
+
+// VCRequest is one virtual-channel allocation request: requester (an input
+// VC, identified by a dense index) asks for resource (an output VC, dense
+// index) at the given priority.
+type VCRequest struct {
+	Requester int
+	Resource  int
+	Pri       Priority
+}
+
+// VCAllocator is a separable, priority-based allocator matching requesters
+// (input VCs) to resources (output VCs). It implements the "priority-based
+// VC allocator" of Table 2:
+//
+//  1. output stage: every requested resource picks its highest-priority
+//     requester (round-robin among equals);
+//  2. input stage: every requester that won several resources keeps the
+//     highest-priority grant (round-robin among equals).
+//
+// A single iteration is performed per invocation, as in a single-cycle VA
+// stage. The implementation is sparse: cost is proportional to the number
+// of requests submitted, not requesters×resources, because the router
+// invokes it every cycle.
+type VCAllocator struct {
+	numRequesters int
+	numResources  int
+
+	outNext []int // round-robin pointer per resource
+	inNext  []int // round-robin pointer per requester
+
+	// scratch, reused across calls; only touched entries are reset.
+	resPri      []Priority // best priority seen per resource this call
+	resWin      []int      // winning requester per resource this call
+	reqPri      []Priority // best granted priority per requester
+	reqWin      []int      // winning resource per requester
+	touchedRes  []int
+	touchedReqs []int
+	grants      []Grant
+}
+
+// NewVCAllocator returns an allocator for numRequesters input VCs and
+// numResources output VCs.
+func NewVCAllocator(numRequesters, numResources int) *VCAllocator {
+	if numRequesters <= 0 || numResources <= 0 {
+		panic("alloc: VC allocator needs positive dimensions")
+	}
+	a := &VCAllocator{
+		numRequesters: numRequesters,
+		numResources:  numResources,
+		outNext:       make([]int, numResources),
+		inNext:        make([]int, numRequesters),
+		resPri:        make([]Priority, numResources),
+		resWin:        make([]int, numResources),
+		reqPri:        make([]Priority, numRequesters),
+		reqWin:        make([]int, numRequesters),
+	}
+	for i := range a.resWin {
+		a.resWin[i] = -1
+	}
+	for i := range a.reqWin {
+		a.reqWin[i] = -1
+	}
+	return a
+}
+
+// rrBetter reports whether candidate a beats candidate b for a resource
+// whose round-robin pointer is next, given equal priority: the index
+// closest at-or-after the pointer (mod n) wins.
+func rrBetter(a, b, next, n int) bool {
+	da := a - next
+	if da < 0 {
+		da += n
+	}
+	db := b - next
+	if db < 0 {
+		db += n
+	}
+	return da < db
+}
+
+// Grant is one requester→resource match produced by Allocate.
+type Grant struct {
+	Requester int
+	Resource  int
+}
+
+// Allocate matches requesters to resources and returns the grants. Each
+// requester receives at most one resource and each resource is granted to
+// at most one requester. Requests with Pri == None are ignored. The
+// returned slice is reused by the next call to Allocate.
+func (a *VCAllocator) Allocate(reqs []VCRequest) []Grant {
+	// Output stage: each resource picks its best requester.
+	for _, rq := range reqs {
+		if rq.Pri == None {
+			continue
+		}
+		if rq.Requester < 0 || rq.Requester >= a.numRequesters ||
+			rq.Resource < 0 || rq.Resource >= a.numResources {
+			panic("alloc: VC request out of range")
+		}
+		r := rq.Resource
+		if a.resWin[r] == -1 {
+			a.touchedRes = append(a.touchedRes, r)
+			a.resPri[r] = rq.Pri
+			a.resWin[r] = rq.Requester
+			continue
+		}
+		if rq.Pri > a.resPri[r] ||
+			(rq.Pri == a.resPri[r] && rq.Requester != a.resWin[r] &&
+				rrBetter(rq.Requester, a.resWin[r], a.outNext[r], a.numRequesters)) {
+			a.resPri[r] = rq.Pri
+			a.resWin[r] = rq.Requester
+		}
+	}
+
+	// Input stage: each requester keeps its best resource grant.
+	for _, r := range a.touchedRes {
+		q, p := a.resWin[r], a.resPri[r]
+		if a.reqWin[q] == -1 {
+			a.touchedReqs = append(a.touchedReqs, q)
+			a.reqPri[q] = p
+			a.reqWin[q] = r
+			continue
+		}
+		if p > a.reqPri[q] ||
+			(p == a.reqPri[q] && r != a.reqWin[q] &&
+				rrBetter(r, a.reqWin[q], a.inNext[q], a.numResources)) {
+			a.reqPri[q] = p
+			a.reqWin[q] = r
+		}
+	}
+
+	grants := a.grants[:0]
+	for _, q := range a.touchedReqs {
+		r := a.reqWin[q]
+		grants = append(grants, Grant{Requester: q, Resource: r})
+		// Advance round-robin state past the winners.
+		a.inNext[q] = (r + 1) % a.numResources
+		a.outNext[r] = (q + 1) % a.numRequesters
+	}
+	a.grants = grants
+
+	// Reset touched scratch.
+	for _, r := range a.touchedRes {
+		a.resWin[r] = -1
+		a.resPri[r] = None
+	}
+	for _, q := range a.touchedReqs {
+		a.reqWin[q] = -1
+		a.reqPri[q] = None
+	}
+	a.touchedRes = a.touchedRes[:0]
+	a.touchedReqs = a.touchedReqs[:0]
+	return grants
+}

@@ -1,0 +1,148 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// grantMap converts the sparse grant list into requester→resource for
+// convenient assertions.
+func grantMap(gs []Grant) map[int]int {
+	m := make(map[int]int, len(gs))
+	for _, g := range gs {
+		m[g.Requester] = g.Resource
+	}
+	return m
+}
+
+func TestVCAllocatorSimpleGrant(t *testing.T) {
+	a := NewVCAllocator(2, 2)
+	g := grantMap(a.Allocate([]VCRequest{{Requester: 0, Resource: 1, Pri: Low}}))
+	if len(g) != 1 || g[0] != 1 {
+		t.Errorf("grants = %v, want {0:1}", g)
+	}
+}
+
+func TestVCAllocatorPriorityWins(t *testing.T) {
+	a := NewVCAllocator(2, 1)
+	// Both want resource 0; requester 1 has higher priority.
+	g := grantMap(a.Allocate([]VCRequest{
+		{Requester: 0, Resource: 0, Pri: Low},
+		{Requester: 1, Resource: 0, Pri: Highest},
+	}))
+	if len(g) != 1 || g[1] != 0 {
+		t.Errorf("grants = %v, want {1:0}", g)
+	}
+}
+
+func TestVCAllocatorConflictResolution(t *testing.T) {
+	a := NewVCAllocator(2, 2)
+	// Both requesters want both resources at equal priority: no resource
+	// may be granted twice and at least one requester must be served
+	// (single-iteration separable allocators can leave one unmatched).
+	reqs := []VCRequest{
+		{0, 0, Low}, {0, 1, Low},
+		{1, 0, Low}, {1, 1, Low},
+	}
+	g := grantMap(a.Allocate(reqs))
+	if len(g) == 0 {
+		t.Fatal("nobody granted")
+	}
+	if r0, ok0 := g[0]; ok0 {
+		if r1, ok1 := g[1]; ok1 && r0 == r1 {
+			t.Errorf("resource granted twice: %v", g)
+		}
+	}
+}
+
+func TestVCAllocatorIgnoresNone(t *testing.T) {
+	a := NewVCAllocator(1, 1)
+	if gs := a.Allocate([]VCRequest{{0, 0, None}}); len(gs) != 0 {
+		t.Errorf("grants = %v, want empty", gs)
+	}
+}
+
+func TestVCAllocatorDuplicateKeepsStrongest(t *testing.T) {
+	a := NewVCAllocator(2, 1)
+	g := grantMap(a.Allocate([]VCRequest{
+		{0, 0, Low},
+		{0, 0, Highest}, // duplicate, stronger
+		{1, 0, High},
+	}))
+	if g[0] != 0 {
+		t.Errorf("requester 0 should win with Highest, grants = %v", g)
+	}
+}
+
+func TestVCAllocatorOutOfRangePanics(t *testing.T) {
+	a := NewVCAllocator(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range request did not panic")
+		}
+	}()
+	a.Allocate([]VCRequest{{5, 0, Low}})
+}
+
+func TestVCAllocatorFairnessOverTime(t *testing.T) {
+	a := NewVCAllocator(3, 1)
+	counts := make([]int, 3)
+	reqs := []VCRequest{{0, 0, Low}, {1, 0, Low}, {2, 0, Low}}
+	for i := 0; i < 30; i++ {
+		for q := range grantMap(a.Allocate(reqs)) {
+			counts[q]++
+		}
+	}
+	for q, c := range counts {
+		if c != 10 {
+			t.Errorf("requester %d won %d/30, want 10", q, c)
+		}
+	}
+}
+
+func TestVCAllocatorScratchReset(t *testing.T) {
+	a := NewVCAllocator(4, 4)
+	// First call grants 0->0.
+	a.Allocate([]VCRequest{{0, 0, Highest}})
+	// Second call must not remember the first call's requests.
+	g := grantMap(a.Allocate([]VCRequest{{1, 1, Low}}))
+	if len(g) != 1 || g[1] != 1 {
+		t.Errorf("stale state leaked: grants = %v", g)
+	}
+}
+
+// Property: no resource is ever granted to two requesters and every grant
+// corresponds to a submitted request.
+func TestVCAllocatorInvariants(t *testing.T) {
+	a := NewVCAllocator(4, 4)
+	f := func(raw []uint16) bool {
+		var reqs []VCRequest
+		asked := map[[2]int]bool{}
+		for _, r := range raw {
+			rq := VCRequest{
+				Requester: int(r) % 4,
+				Resource:  int(r>>2) % 4,
+				Pri:       Priority(int(r>>4)%4 + 1),
+			}
+			reqs = append(reqs, rq)
+			asked[[2]int{rq.Requester, rq.Resource}] = true
+		}
+		grants := a.Allocate(reqs)
+		seenRes := map[int]bool{}
+		seenReq := map[int]bool{}
+		for _, g := range grants {
+			if seenRes[g.Resource] || seenReq[g.Requester] {
+				return false // double grant
+			}
+			seenRes[g.Resource] = true
+			seenReq[g.Requester] = true
+			if !asked[[2]int{g.Requester, g.Resource}] {
+				return false // phantom grant
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/sim"
+	"nocsim/internal/traffic"
+)
+
+// SyntheticAlgorithms are the seven routing configurations of Figures 5
+// and 6.
+func SyntheticAlgorithms() []string {
+	return []string{"footprint", "dbar", "oddeven", "dor", "dbar+xordet", "oddeven+xordet", "dor+xordet"}
+}
+
+// SyntheticPatterns are the three traffic patterns of Figures 5–8.
+func SyntheticPatterns() []string { return []string{"uniform", "transpose", "shuffle"} }
+
+// Curve is one algorithm's latency-throughput curve.
+type Curve struct {
+	Algorithm string
+	Points    []sim.SweepPoint
+}
+
+// SaturationFromCurve returns the highest accepted throughput among
+// stable, criterion-passing points — the saturation throughput read off a
+// latency-throughput curve.
+func SaturationFromCurve(c Curve) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	crit := sim.DefaultCriterion()
+	zero := c.Points[0].Result.AvgLatency(flit.ClassBackground)
+	best := 0.0
+	for _, p := range c.Points {
+		if crit.Saturated(p.Result, zero) {
+			continue
+		}
+		if p.Result.Accepted > best {
+			best = p.Result.Accepted
+		}
+	}
+	return best
+}
+
+// CurveSet is one traffic pattern's family of curves (one panel of
+// Figure 5 or 6).
+type CurveSet struct {
+	Figure  string
+	Pattern string
+	Curves  []Curve
+}
+
+// Format renders the panel as the paper's series: one row per rate with
+// one latency column per algorithm, followed by the saturation summary.
+func (cs CurveSet) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s traffic\n", cs.Figure, cs.Pattern)
+	fmt.Fprintf(&b, "%-8s", "rate")
+	for _, c := range cs.Curves {
+		fmt.Fprintf(&b, "%16s", c.Algorithm)
+	}
+	b.WriteString("\n")
+	maxPts := 0
+	for _, c := range cs.Curves {
+		if len(c.Points) > maxPts {
+			maxPts = len(c.Points)
+		}
+	}
+	crit := sim.DefaultCriterion()
+	for i := 0; i < maxPts; i++ {
+		var rate float64
+		for _, c := range cs.Curves {
+			if i < len(c.Points) {
+				rate = c.Points[i].Rate
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%-8.2f", rate)
+		for _, c := range cs.Curves {
+			if i >= len(c.Points) {
+				fmt.Fprintf(&b, "%16s", "sat")
+				continue
+			}
+			r := c.Points[i].Result
+			zero := c.Points[0].Result.AvgLatency(flit.ClassBackground)
+			if crit.Saturated(r, zero) {
+				fmt.Fprintf(&b, "%16s", "sat")
+			} else {
+				fmt.Fprintf(&b, "%16.1f", r.AvgLatency(flit.ClassBackground))
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-8s", "satTP")
+	for _, c := range cs.Curves {
+		fmt.Fprintf(&b, "%16.3f", SaturationFromCurve(c))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure5 regenerates one panel of Figure 5: latency-throughput curves of
+// all seven algorithms under the named pattern with single-flit packets.
+func Figure5(p Profile, pattern string) (CurveSet, error) {
+	return curveSet(p, "Figure 5", pattern, traffic.FixedSize(1), SyntheticAlgorithms())
+}
+
+// Figure6 regenerates one panel of Figure 6: as Figure 5 with packet
+// sizes uniform in 1..6 flits.
+func Figure6(p Profile, pattern string) (CurveSet, error) {
+	return curveSet(p, "Figure 6", pattern, traffic.UniformSize(1, 6), SyntheticAlgorithms())
+}
+
+func curveSet(p Profile, figure, pattern string, size traffic.SizeFn, algs []string) (CurveSet, error) {
+	crit := sim.DefaultCriterion()
+	cs := CurveSet{Figure: figure, Pattern: pattern}
+	for _, alg := range algs {
+		cfg := p.BaseConfig()
+		cfg.Algorithm = alg
+		var pts []sim.SweepPoint
+		var zero float64
+		saturated := 0
+		for _, rate := range p.Rates {
+			sub, err := sim.LatencyThroughput(cfg, pattern, size, []float64{rate})
+			if err != nil {
+				return CurveSet{}, fmt.Errorf("exp: %s %s/%s: %w", figure, pattern, alg, err)
+			}
+			pt := sub[0]
+			pts = append(pts, pt)
+			if zero == 0 {
+				zero = pt.Result.AvgLatency(flit.ClassBackground)
+			}
+			// Deeply saturated points cost a full drain budget each and
+			// add nothing to the curve: stop after two in a row.
+			if crit.Saturated(pt.Result, zero) {
+				if saturated++; saturated >= 2 {
+					break
+				}
+			} else {
+				saturated = 0
+			}
+		}
+		cs.Curves = append(cs.Curves, Curve{Algorithm: alg, Points: pts})
+	}
+	return cs, nil
+}
+
+// VCSweepPoint is one bar of Figure 7: saturation throughput at a VC
+// count.
+type VCSweepPoint struct {
+	VCs        int
+	Throughput map[string]float64 // algorithm -> flits/node/cycle
+}
+
+// VCSweep is one panel of Figure 7.
+type VCSweep struct {
+	Pattern string
+	Points  []VCSweepPoint
+}
+
+// Format renders the panel with Footprint's gain over DBAR per VC count.
+func (v VCSweep) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — %s traffic (saturation throughput, flits/node/cycle)\n", v.Pattern)
+	fmt.Fprintf(&b, "%-6s %12s %12s %8s\n", "VCs", "footprint", "dbar", "gain")
+	for _, pt := range v.Points {
+		fp, db := pt.Throughput["footprint"], pt.Throughput["dbar"]
+		gain := 0.0
+		if db > 0 {
+			gain = (fp - db) / db * 100
+		}
+		fmt.Fprintf(&b, "%-6d %12.3f %12.3f %+7.1f%%\n", pt.VCs, fp, db, gain)
+	}
+	return b.String()
+}
+
+// Figure7 regenerates one panel of Figure 7: Footprint vs DBAR saturation
+// throughput as the VC count varies.
+func Figure7(p Profile, pattern string, vcCounts []int) (VCSweep, error) {
+	if vcCounts == nil {
+		vcCounts = []int{2, 4, 8, 16}
+	}
+	out := VCSweep{Pattern: pattern}
+	for _, vcs := range vcCounts {
+		pt := VCSweepPoint{VCs: vcs, Throughput: map[string]float64{}}
+		for _, alg := range []string{"footprint", "dbar"} {
+			cfg := p.BaseConfig()
+			cfg.Algorithm = alg
+			cfg.VCs = vcs
+			sr, err := sim.SaturationThroughput(cfg, pattern, traffic.FixedSize(1), p.Tol)
+			if err != nil {
+				return VCSweep{}, err
+			}
+			pt.Throughput[alg] = sr.Throughput
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// ScalePoint is one bar group of Figure 8.
+type ScalePoint struct {
+	Width, Height int
+	Pattern       string
+	Throughput    map[string]float64
+	// DBARNormalized is DBAR's saturation throughput divided by
+	// Footprint's, the quantity Figure 8 plots.
+	DBARNormalized float64
+}
+
+// ScaleStudy is the whole of Figure 8.
+type ScaleStudy struct{ Points []ScalePoint }
+
+// Format renders Figure 8's normalized bars.
+func (s ScaleStudy) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — DBAR throughput normalized to Footprint\n")
+	fmt.Fprintf(&b, "%-8s %-10s %12s %12s %12s\n", "mesh", "pattern", "footprint", "dbar", "dbar/fp")
+	for _, pt := range s.Points {
+		fmt.Fprintf(&b, "%dx%-6d %-10s %12.3f %12.3f %12.2f\n",
+			pt.Width, pt.Height, pt.Pattern,
+			pt.Throughput["footprint"], pt.Throughput["dbar"], pt.DBARNormalized)
+	}
+	return b.String()
+}
+
+// Figure8 regenerates Figure 8: saturation throughput of DBAR normalized
+// to Footprint on 4×4 and 16×16 meshes (VC count held at the baseline).
+func Figure8(p Profile, sizes [][2]int) (ScaleStudy, error) {
+	if sizes == nil {
+		sizes = [][2]int{{4, 4}, {16, 16}}
+	}
+	var out ScaleStudy
+	for _, wh := range sizes {
+		for _, pattern := range SyntheticPatterns() {
+			pt := ScalePoint{Width: wh[0], Height: wh[1], Pattern: pattern, Throughput: map[string]float64{}}
+			for _, alg := range []string{"footprint", "dbar"} {
+				cfg := p.BaseConfig()
+				cfg.Algorithm = alg
+				cfg.Width, cfg.Height = wh[0], wh[1]
+				sr, err := sim.SaturationThroughput(cfg, pattern, traffic.FixedSize(1), p.Tol)
+				if err != nil {
+					return ScaleStudy{}, err
+				}
+				pt.Throughput[alg] = sr.Throughput
+			}
+			if fp := pt.Throughput["footprint"]; fp > 0 {
+				pt.DBARNormalized = pt.Throughput["dbar"] / fp
+			}
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// HotspotStudy is Figure 9: one background-latency curve per algorithm.
+type HotspotStudy struct {
+	BackgroundRate float64
+	Rates          []float64
+	Curves         map[string][]sim.HotspotPoint
+}
+
+// Format renders Figure 9's two curves side by side.
+func (h HotspotStudy) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — background latency vs hotspot injection rate (background %.0f%%)\n", h.BackgroundRate*100)
+	fmt.Fprintf(&b, "%-10s %14s %14s\n", "hotRate", "footprint", "dbar")
+	for i, r := range h.Rates {
+		row := func(alg string) string {
+			p := h.Curves[alg][i]
+			if !p.Stable {
+				return "sat"
+			}
+			return fmt.Sprintf("%.1f", p.BackgroundLatency)
+		}
+		fmt.Fprintf(&b, "%-10.2f %14s %14s\n", r, row("footprint"), row("dbar"))
+	}
+	return b.String()
+}
+
+// Figure9 regenerates Figure 9 with Table 3's hotspot flows and uniform
+// background traffic at bgRate.
+func Figure9(p Profile, bgRate float64, rates []float64) (HotspotStudy, error) {
+	if rates == nil {
+		rates = rateGrid(0.05, 0.65, 0.05)
+	}
+	out := HotspotStudy{BackgroundRate: bgRate, Rates: rates, Curves: map[string][]sim.HotspotPoint{}}
+	for _, alg := range []string{"footprint", "dbar"} {
+		cfg := p.BaseConfig()
+		cfg.Algorithm = alg
+		pts, err := sim.HotspotCurve(cfg, bgRate, rates)
+		if err != nil {
+			return HotspotStudy{}, err
+		}
+		out.Curves[alg] = pts
+	}
+	return out, nil
+}

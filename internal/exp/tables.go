@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nocsim/internal/routing"
+	"nocsim/internal/sim"
+	"nocsim/internal/topo"
+)
+
+// AdaptivenessRow quantifies Table 1's qualitative grades: the measured
+// mean port adaptiveness and the analytic VC adaptiveness per algorithm.
+type AdaptivenessRow struct {
+	Algorithm string
+	// MeanPAdapt is P_adapt (Equation 1) averaged over all node pairs of
+	// the baseline 8×8 mesh.
+	MeanPAdapt float64
+	// VCAdapt is VC_adapt (Equation 2) of a non-escape channel with the
+	// baseline 10 VCs.
+	VCAdapt float64
+}
+
+// TableOneStudy combines the paper's qualitative Table 1 with measured
+// adaptiveness values.
+type TableOneStudy struct {
+	Qualitative []routing.TableOneRow
+	Measured    []AdaptivenessRow
+}
+
+// Table1 regenerates Table 1 plus the quantitative two-level adaptiveness
+// of every implemented algorithm.
+func Table1() TableOneStudy {
+	m := topo.MustNew(8, 8)
+	var measured []AdaptivenessRow
+	for _, name := range routing.Names() {
+		alg := routing.MustNew(name)
+		measured = append(measured, AdaptivenessRow{
+			Algorithm:  name,
+			MeanPAdapt: routing.MeanPortAdaptiveness(m, alg),
+			VCAdapt:    routing.VCAdaptiveness(alg, 10, false),
+		})
+	}
+	return TableOneStudy{
+		Qualitative: routing.TableOne(),
+		Measured:    measured,
+	}
+}
+
+// Format renders both halves of the study.
+func (t TableOneStudy) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — qualitative comparison\n")
+	b.WriteString(routing.FormatTableOne(t.Qualitative))
+	b.WriteString("\nMeasured two-level adaptiveness (8x8 mesh, 10 VCs)\n")
+	fmt.Fprintf(&b, "%-16s %12s %12s\n", "algorithm", "P_adapt", "VC_adapt")
+	for _, r := range t.Measured {
+		fmt.Fprintf(&b, "%-16s %12.3f %12.3f\n", r.Algorithm, r.MeanPAdapt, r.VCAdapt)
+	}
+	return b.String()
+}
+
+// Table2 renders the simulation configuration actually used (the paper's
+// Table 2 defaults).
+func Table2(cfg sim.Config) string {
+	var b strings.Builder
+	b.WriteString("Table 2 — network simulation configuration\n")
+	fmt.Fprintf(&b, "%-24s %dx%d 2D mesh\n", "topology", cfg.Width, cfg.Height)
+	fmt.Fprintf(&b, "%-24s %s\n", "routing algorithm", cfg.Algorithm)
+	fmt.Fprintf(&b, "%-24s %d VCs/channel, %d-flit buffers\n", "virtual channels", cfg.VCs, cfg.BufDepth)
+	fmt.Fprintf(&b, "%-24s credit-based, wormhole\n", "flow control")
+	fmt.Fprintf(&b, "%-24s priority-based VC allocator, round-robin switch arbiter\n", "allocators")
+	fmt.Fprintf(&b, "%-24s %d.0\n", "internal speedup", cfg.Speedup)
+	fmt.Fprintf(&b, "%-24s warmup %d, measure %d, drain %d cycles\n",
+		"measurement", cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles)
+	return b.String()
+}
+
+// CostStudy reproduces Section 4.4's storage overhead analysis.
+type CostStudy struct{ Rows []routing.Cost }
+
+// SectionCost computes the Footprint storage overhead for representative
+// network sizes and VC counts.
+func SectionCost() CostStudy {
+	var s CostStudy
+	for _, cfg := range []struct{ nodes, vcs int }{
+		{16, 4}, {64, 10}, {64, 16}, {256, 16},
+	} {
+		s.Rows = append(s.Rows, routing.FootprintCost(cfg.nodes, cfg.vcs))
+	}
+	return s
+}
+
+// Format renders the cost table.
+func (c CostStudy) Format() string {
+	var b strings.Builder
+	b.WriteString("Section 4.4 — Footprint storage overhead per port\n")
+	fmt.Fprintf(&b, "%-8s %-6s %12s %12s %12s\n", "nodes", "VCs", "idle ctr", "owner/VC", "total bits")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%-8d %-6d %10db %10db %11db\n",
+			r.NetworkSize, r.VCsPerPort, r.IdleCounterBits, r.OwnerBitsPerVC, r.TotalBitsPerPort)
+	}
+	return b.String()
+}

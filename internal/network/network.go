@@ -1,0 +1,174 @@
+// Package network wires routers, channels and endpoints into a 2D mesh and
+// advances the whole fabric cycle by cycle. It also implements the
+// neighbour status exchange that DBAR-class routing algorithms consume.
+package network
+
+import (
+	"math/rand"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/router"
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+// Config parameterizes a mesh network.
+type Config struct {
+	Mesh     topo.Mesh
+	VCs      int
+	BufDepth int
+	Speedup  int
+	// NewAlg constructs a routing algorithm instance; each router gets
+	// its own so algorithms may keep per-router state.
+	NewAlg func() routing.Algorithm
+	Rand   *rand.Rand
+	// Metrics receives router events; may be nil.
+	Metrics router.MetricsSink
+	// StickyRouting freezes per-packet VC request sets at route time;
+	// see router.Config.StickyRouting.
+	StickyRouting bool
+	// SlowEndpoints maps node id -> consume interval for endpoints whose
+	// ejection bandwidth is below the port bandwidth (Section 2's second
+	// source of endpoint congestion). Unlisted nodes drain every cycle.
+	SlowEndpoints map[int]int
+}
+
+// Network is a running mesh fabric.
+type Network struct {
+	cfg       Config
+	routers   []*router.Router
+	endpoints []*router.Endpoint
+	channels  []*router.Channel
+	now       int64
+	inFlight  int
+
+	// Sink, when set, receives every packet as its tail flit is consumed
+	// at the destination endpoint. Set it before offering traffic.
+	Sink func(p *flit.Packet)
+}
+
+// New builds the mesh: one router and endpoint per node, one channel per
+// directed link (including injection and ejection links).
+func New(cfg Config) *Network {
+	n := &Network{cfg: cfg}
+	nodes := cfg.Mesh.Nodes()
+	n.routers = make([]*router.Router, nodes)
+	n.endpoints = make([]*router.Endpoint, nodes)
+
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = router.New(router.Config{
+			Mesh:          cfg.Mesh,
+			NodeID:        id,
+			VCs:           cfg.VCs,
+			BufDepth:      cfg.BufDepth,
+			Speedup:       cfg.Speedup,
+			Alg:           cfg.NewAlg(),
+			Rand:          cfg.Rand,
+			Downstream:    n,
+			Metrics:       cfg.Metrics,
+			StickyRouting: cfg.StickyRouting,
+		})
+	}
+	// Inter-router links: for every node and direction with a neighbour,
+	// one channel from node's output to the neighbour's opposite input.
+	for id := 0; id < nodes; id++ {
+		for d := topo.East; d <= topo.South; d++ {
+			nb, ok := cfg.Mesh.Neighbor(id, d)
+			if !ok {
+				continue
+			}
+			ch := router.NewChannel()
+			n.channels = append(n.channels, ch)
+			n.routers[id].AttachOut(d, ch)
+			n.routers[nb].AttachIn(d.Opposite(), ch)
+		}
+	}
+	// Injection and ejection links.
+	for id := 0; id < nodes; id++ {
+		inj := router.NewChannel()
+		ej := router.NewChannel()
+		n.channels = append(n.channels, inj, ej)
+		n.routers[id].AttachIn(topo.Local, inj)
+		n.routers[id].AttachOut(topo.Local, ej)
+		ep := router.NewEndpoint(id, cfg.VCs, cfg.BufDepth, inj, ej)
+		if iv, ok := cfg.SlowEndpoints[id]; ok {
+			ep.ConsumeInterval = iv
+		}
+		ep.Sink = func(p *flit.Packet) {
+			n.inFlight--
+			if n.Sink != nil {
+				n.Sink(p)
+			}
+		}
+		n.endpoints[id] = ep
+	}
+	return n
+}
+
+// DownstreamIdle implements router.DownstreamInfo: the idle adaptive VC
+// count toward dest at the neighbour reached through output port d of
+// node. Returns 0 at mesh edges.
+func (n *Network) DownstreamIdle(node int, d topo.Direction, dest int) int {
+	nb, ok := n.cfg.Mesh.Neighbor(node, d)
+	if !ok {
+		return 0
+	}
+	return n.routers[nb].IdleAdaptiveToward(dest)
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Router returns the router of node id, for analyzers.
+func (n *Network) Router(id int) *router.Router { return n.routers[id] }
+
+// Endpoint returns the endpoint of node id.
+func (n *Network) Endpoint(id int) *router.Endpoint { return n.endpoints[id] }
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.cfg.Mesh.Nodes() }
+
+// Offer enqueues a packet at its source endpoint.
+func (n *Network) Offer(p *flit.Packet) {
+	n.inFlight++
+	n.endpoints[p.Src].Offer(p)
+}
+
+// Step advances the fabric by one cycle. Phases are globally ordered so
+// results are independent of router iteration order: all receives, then
+// all routing+VC allocation, then all switch traversal and endpoint
+// activity, then all links tick.
+func (n *Network) Step() {
+	for _, e := range n.endpoints {
+		e.Receive()
+	}
+	for _, r := range n.routers {
+		r.Receive()
+	}
+	for _, r := range n.routers {
+		r.AllocateVCs()
+	}
+	for _, r := range n.routers {
+		r.SwitchAndTraverse()
+	}
+	for _, e := range n.endpoints {
+		e.Consume(n.now)
+		e.Inject(n.now)
+	}
+	for _, ch := range n.channels {
+		ch.Tick()
+	}
+	n.now++
+}
+
+// Run advances the fabric by cycles cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// InFlight reports the number of packets offered but not yet fully ejected
+// (source queues plus packets inside the fabric); used to drain
+// simulations.
+func (n *Network) InFlight() int { return n.inFlight }

@@ -1,0 +1,328 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+func newNet(t *testing.T, w, h int, alg string, vcs int) *Network {
+	t.Helper()
+	return New(Config{
+		Mesh:     topo.MustNew(w, h),
+		VCs:      vcs,
+		BufDepth: 4,
+		Speedup:  2,
+		NewAlg:   func() routing.Algorithm { return routing.MustNew(alg) },
+		Rand:     rand.New(rand.NewSource(1)),
+	})
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	for _, alg := range routing.Names() {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			n := newNet(t, 8, 8, alg, 4)
+			var got *flit.Packet
+			n.Sink = func(p *flit.Packet) { got = p }
+			p := &flit.Packet{ID: 1, Src: 0, Dest: 63, Size: 1, Born: 0}
+			n.Offer(p)
+			n.Run(200)
+			if got == nil {
+				t.Fatal("packet not delivered")
+			}
+			if got.Hops != topo.MustNew(8, 8).Hops(0, 63)+1 {
+				t.Errorf("hops = %d, want %d (minimal routers visited)", got.Hops, 15)
+			}
+			if got.Latency() <= 0 || got.Latency() > 100 {
+				t.Errorf("implausible zero-load latency %d", got.Latency())
+			}
+			if n.InFlight() != 0 {
+				t.Errorf("InFlight = %d after drain", n.InFlight())
+			}
+		})
+	}
+}
+
+func TestMultiFlitPacketDelivery(t *testing.T) {
+	n := newNet(t, 4, 4, "footprint", 4)
+	var got *flit.Packet
+	n.Sink = func(p *flit.Packet) { got = p }
+	p := &flit.Packet{ID: 7, Src: 0, Dest: 15, Size: 6, Born: 0}
+	n.Offer(p)
+	n.Run(200)
+	if got == nil {
+		t.Fatal("multi-flit packet not delivered")
+	}
+}
+
+func TestPacketToSelfNeighbor(t *testing.T) {
+	// One-hop packet: src and dest adjacent.
+	n := newNet(t, 4, 4, "dor", 2)
+	done := 0
+	n.Sink = func(p *flit.Packet) { done++ }
+	n.Offer(&flit.Packet{ID: 1, Src: 0, Dest: 1, Size: 1})
+	n.Run(50)
+	if done != 1 {
+		t.Fatalf("one-hop packet not delivered")
+	}
+}
+
+// TestRandomTrafficAllAlgorithms floods the mesh with random traffic and
+// checks that every packet drains (deadlock/livelock smoke test) with
+// minimal hop counts.
+func TestRandomTrafficAllAlgorithms(t *testing.T) {
+	m := topo.MustNew(4, 4)
+	for _, alg := range routing.Names() {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			n := newNet(t, 4, 4, alg, 4)
+			delivered := 0
+			n.Sink = func(p *flit.Packet) {
+				delivered++
+				if p.Hops != m.Hops(p.Src, p.Dest)+1 {
+					t.Errorf("packet %d: hops %d, want %d (minimal)", p.ID, p.Hops, m.Hops(p.Src, p.Dest)+1)
+				}
+			}
+			rng := rand.New(rand.NewSource(7))
+			offered := 0
+			for cycle := 0; cycle < 1500; cycle++ {
+				if cycle < 1000 {
+					for node := 0; node < 16; node++ {
+						if rng.Float64() < 0.2 {
+							dest := rng.Intn(16)
+							if dest == node {
+								continue
+							}
+							offered++
+							n.Offer(&flit.Packet{
+								ID:   uint64(offered),
+								Src:  node,
+								Dest: dest,
+								Size: 1 + rng.Intn(3),
+								Born: n.Now(),
+							})
+						}
+					}
+				}
+				n.Step()
+			}
+			// Drain.
+			for i := 0; i < 20000 && n.InFlight() > 0; i++ {
+				n.Step()
+			}
+			if n.InFlight() != 0 {
+				t.Fatalf("%d packets stuck after drain (deadlock?)", n.InFlight())
+			}
+			if delivered != offered {
+				t.Errorf("delivered %d of %d", delivered, offered)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		n := newNet(t, 4, 4, "footprint", 4)
+		var lat []int64
+		n.Sink = func(p *flit.Packet) { lat = append(lat, p.Latency()) }
+		rng := rand.New(rand.NewSource(99))
+		id := uint64(0)
+		for cycle := 0; cycle < 500; cycle++ {
+			for node := 0; node < 16; node++ {
+				if rng.Float64() < 0.3 {
+					dest := (node + 1 + rng.Intn(15)) % 16
+					id++
+					n.Offer(&flit.Packet{ID: id, Src: node, Dest: dest, Size: 1, Born: n.Now()})
+				}
+			}
+			n.Step()
+		}
+		return lat
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic delivery count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic latency at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEndpointOversubscription drives two persistent flows at one
+// destination — the paper's endpoint congestion scenario — and checks that
+// the network keeps delivering without loss.
+func TestEndpointOversubscription(t *testing.T) {
+	n := newNet(t, 8, 8, "footprint", 4)
+	delivered := 0
+	n.Sink = func(p *flit.Packet) { delivered++ }
+	offered := 0
+	for cycle := 0; cycle < 2000; cycle++ {
+		if cycle < 1000 {
+			// Flows n4->n13 and n12->n13 at full rate.
+			for _, src := range []int{4, 12} {
+				offered++
+				n.Offer(&flit.Packet{ID: uint64(offered), Src: src, Dest: 13, Size: 1, Born: n.Now()})
+			}
+		}
+		n.Step()
+	}
+	for i := 0; i < 100000 && n.InFlight() > 0; i++ {
+		n.Step()
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("%d packets stuck", n.InFlight())
+	}
+	if delivered != offered {
+		t.Errorf("delivered %d of %d", delivered, offered)
+	}
+}
+
+func TestDownstreamIdleAtEdge(t *testing.T) {
+	n := newNet(t, 4, 4, "dbar", 4)
+	// Node 3 has no East neighbour.
+	if got := n.DownstreamIdle(3, topo.East, 0); got != 0 {
+		t.Errorf("edge DownstreamIdle = %d, want 0", got)
+	}
+	// Interior: neighbour exists, all VCs idle initially: 3 adaptive VCs
+	// per productive port.
+	got := n.DownstreamIdle(5, topo.East, 7) // neighbour 6, productive E only
+	if got != 3 {
+		t.Errorf("DownstreamIdle = %d, want 3", got)
+	}
+	// Toward a corner needing both dims from neighbour.
+	got = n.DownstreamIdle(5, topo.East, 11) // neighbour 6: dest 11 is E+S
+	if got != 6 {
+		t.Errorf("DownstreamIdle = %d, want 6", got)
+	}
+}
+
+func TestOfferWrongSourcePanics(t *testing.T) {
+	n := newNet(t, 4, 4, "dor", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-source Offer did not panic")
+		}
+	}()
+	n.Endpoint(3).Offer(&flit.Packet{Src: 5})
+}
+
+// TestXORDETIsolatesVCClasses checks the static-mapping invariant at the
+// fabric level: with dor+xordet, every flit traversing an inter-router
+// link uses exactly the VC class of its destination.
+func TestXORDETIsolatesVCClasses(t *testing.T) {
+	m := topo.MustNew(4, 4)
+	n := newNet(t, 4, 4, "dor+xordet", 4)
+	bad := 0
+	n.Sink = func(p *flit.Packet) {}
+	rng := rand.New(rand.NewSource(3))
+	id := uint64(0)
+	for cycle := 0; cycle < 600; cycle++ {
+		for node := 0; node < 16; node++ {
+			if rng.Float64() < 0.2 {
+				dest := rng.Intn(16)
+				if dest == node {
+					continue
+				}
+				id++
+				n.Offer(&flit.Packet{ID: id, Src: node, Dest: dest, Size: 1, Born: n.Now()})
+			}
+		}
+		n.Step()
+		// Inspect every router's non-local input VCs: any flit buffered
+		// in VC v must belong to a destination of class v.
+		for r := 0; r < 16; r++ {
+			rt := n.Router(r)
+			for d := topo.East; d <= topo.South; d++ {
+				for v := 0; v < 4; v++ {
+					if rt.InputBufferUse(d, v) == 0 {
+						continue
+					}
+					dst := rt.InputVCDest(d, v)
+					if want := routing.Class(m, dst, 4); v != want {
+						bad++
+					}
+				}
+			}
+		}
+	}
+	if bad != 0 {
+		t.Errorf("%d class violations under dor+xordet", bad)
+	}
+}
+
+// TestVOQSWDeliversEverything is a fabric-level smoke test of the VOQ_sw
+// overlay on every base algorithm.
+func TestVOQSWDeliversEverything(t *testing.T) {
+	for _, alg := range []string{"dor+voqsw", "oddeven+voqsw", "dbar+voqsw"} {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			n := newNet(t, 4, 4, alg, 4)
+			delivered := 0
+			n.Sink = func(p *flit.Packet) { delivered++ }
+			rng := rand.New(rand.NewSource(11))
+			offered := 0
+			for cycle := 0; cycle < 800; cycle++ {
+				if cycle < 500 {
+					for node := 0; node < 16; node++ {
+						if rng.Float64() < 0.15 {
+							dest := rng.Intn(16)
+							if dest == node {
+								continue
+							}
+							offered++
+							n.Offer(&flit.Packet{ID: uint64(offered), Src: node, Dest: dest, Size: 1 + rng.Intn(3), Born: n.Now()})
+						}
+					}
+				}
+				n.Step()
+			}
+			for i := 0; i < 30000 && n.InFlight() > 0; i++ {
+				n.Step()
+			}
+			if n.InFlight() != 0 {
+				t.Fatalf("%d packets stuck under %s", n.InFlight(), alg)
+			}
+			if delivered != offered {
+				t.Errorf("delivered %d of %d", delivered, offered)
+			}
+		})
+	}
+}
+
+// TestSlowEndpointNetworkLossless verifies the slow-endpoint feature does
+// not lose or duplicate packets at the fabric level.
+func TestSlowEndpointNetworkLossless(t *testing.T) {
+	n := New(Config{
+		Mesh:     topo.MustNew(4, 4),
+		VCs:      4,
+		BufDepth: 4,
+		Speedup:  2,
+		NewAlg:   func() routing.Algorithm { return routing.MustNew("footprint") },
+		Rand:     rand.New(rand.NewSource(5)),
+		SlowEndpoints: map[int]int{
+			5: 3, // drains every 3rd cycle
+		},
+	})
+	delivered := 0
+	n.Sink = func(p *flit.Packet) { delivered++ }
+	offered := 0
+	for cycle := 0; cycle < 600; cycle++ {
+		if cycle < 300 && cycle%4 == 0 {
+			offered++
+			n.Offer(&flit.Packet{ID: uint64(offered), Src: 0, Dest: 5, Size: 1, Born: n.Now()})
+		}
+		n.Step()
+	}
+	for i := 0; i < 20000 && n.InFlight() > 0; i++ {
+		n.Step()
+	}
+	if delivered != offered {
+		t.Errorf("delivered %d of %d through slow endpoint", delivered, offered)
+	}
+}

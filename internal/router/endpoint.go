@@ -1,0 +1,197 @@
+package router
+
+import (
+	"fmt"
+
+	"nocsim/internal/alloc"
+	"nocsim/internal/flit"
+)
+
+// Endpoint is the network interface of one node: an infinite source queue
+// feeding the router's local input port at one flit per cycle, and an
+// ejection unit draining the router's local output port at one flit per
+// cycle — the endpoint bandwidth whose oversubscription creates the
+// paper's endpoint congestion.
+type Endpoint struct {
+	node     int
+	vcs      int
+	bufDepth int
+
+	injCh *Channel // endpoint -> router local input port
+	ejCh  *Channel // router local output port -> endpoint
+
+	// Injection side.
+	queue     []*flit.Packet
+	inFlight  []*flit.Flit // flits of the packet currently being injected
+	injVC     int          // local input VC held by the current packet
+	curPacket *flit.Packet
+	credits   []int // buffer credits per router local input VC
+	vcBusy    []bool
+	pickRR    int
+	// Ejection side.
+	ejBuf   [][]*flit.Flit
+	consume *alloc.RoundRobin
+	reqVec  []bool // scratch for Consume
+
+	// Sink is invoked when a packet's tail flit is consumed; the
+	// simulator collects latency statistics here. May be nil.
+	Sink func(p *flit.Packet)
+
+	// ConsumeInterval throttles the ejection bandwidth: the endpoint
+	// consumes at most one flit every ConsumeInterval cycles. 1 (the
+	// default) matches the router port bandwidth; larger values model
+	// the slow endpoints of Section 2 ("if the bandwidth (ejection
+	// rate) of the endpoint node is lower than the router port
+	// bandwidth"), a second source of endpoint congestion besides
+	// oversubscription.
+	ConsumeInterval int
+}
+
+// NewEndpoint creates the endpoint for node with the router's VC count and
+// buffer depth. injCh carries flits to the router's local input port (and
+// credits back); ejCh carries flits from the router's local output port
+// (and credits back).
+func NewEndpoint(node, vcs, bufDepth int, injCh, ejCh *Channel) *Endpoint {
+	e := &Endpoint{
+		node:     node,
+		vcs:      vcs,
+		bufDepth: bufDepth,
+		injCh:    injCh,
+		ejCh:     ejCh,
+		injVC:    -1,
+		credits:  make([]int, vcs),
+		vcBusy:   make([]bool, vcs),
+		ejBuf:    make([][]*flit.Flit, vcs),
+		consume:  alloc.NewRoundRobin(vcs),
+		reqVec:   make([]bool, vcs),
+	}
+	for v := range e.credits {
+		e.credits[v] = bufDepth
+	}
+	return e
+}
+
+// Offer appends a packet to the source queue. The packet's Born cycle must
+// already be set by the traffic generator.
+func (e *Endpoint) Offer(p *flit.Packet) {
+	if p.Src != e.node {
+		panic(fmt.Sprintf("router: packet src %d offered to endpoint %d", p.Src, e.node))
+	}
+	e.queue = append(e.queue, p)
+}
+
+// QueueLen returns the number of packets waiting in the source queue,
+// including the packet currently being injected.
+func (e *Endpoint) QueueLen() int {
+	n := len(e.queue)
+	if e.curPacket != nil {
+		n++
+	}
+	return n
+}
+
+// Receive ingests injection credits and ejected flits. Phase A.
+func (e *Endpoint) Receive() {
+	for _, cr := range e.injCh.RecvCredits() {
+		e.credits[cr.VC]++
+		if e.credits[cr.VC] > e.bufDepth {
+			panic(fmt.Sprintf("router: endpoint %d credit overflow vc %d", e.node, cr.VC))
+		}
+	}
+	if f := e.ejCh.Recv(); f != nil {
+		if len(e.ejBuf[f.VC]) >= e.bufDepth {
+			panic(fmt.Sprintf("router: endpoint %d ejection overflow vc %d", e.node, f.VC))
+		}
+		e.ejBuf[f.VC] = append(e.ejBuf[f.VC], f)
+	}
+}
+
+// Consume drains at most one ejected flit (the endpoint's ejection
+// bandwidth), returning its buffer credit to the router. now is the
+// current cycle, recorded as the ejection time of completed packets.
+// Phase D.
+func (e *Endpoint) Consume(now int64) {
+	if e.ConsumeInterval > 1 && now%int64(e.ConsumeInterval) != 0 {
+		return
+	}
+	any := false
+	for v := range e.ejBuf {
+		e.reqVec[v] = len(e.ejBuf[v]) > 0
+		any = any || e.reqVec[v]
+	}
+	if !any {
+		return
+	}
+	v := e.consume.Arbitrate(e.reqVec)
+	f := e.ejBuf[v][0]
+	copy(e.ejBuf[v], e.ejBuf[v][1:])
+	e.ejBuf[v] = e.ejBuf[v][:len(e.ejBuf[v])-1]
+	e.ejCh.SendCredit(flit.Credit{VC: v, Tail: f.Tail})
+	if f.Tail {
+		p := f.Packet
+		p.Eject = now
+		if p.Dest != e.node {
+			panic(fmt.Sprintf("router: packet %d for %d ejected at %d", p.ID, p.Dest, e.node))
+		}
+		if e.Sink != nil {
+			e.Sink(p)
+		}
+	}
+}
+
+// Inject sends at most one flit of the current packet into the router's
+// local input port (the injection bandwidth). A new packet claims a free
+// local input VC — the one with the most credits, round-robin on ties.
+// Phase D.
+func (e *Endpoint) Inject(now int64) {
+	if e.curPacket == nil {
+		if len(e.queue) == 0 {
+			return
+		}
+		v := e.pickVC()
+		if v < 0 {
+			return // all local input VCs held by in-flight packets
+		}
+		e.curPacket = e.queue[0]
+		copy(e.queue, e.queue[1:])
+		e.queue = e.queue[:len(e.queue)-1]
+		e.inFlight = flit.Segment(e.curPacket)
+		e.injVC = v
+		e.vcBusy[v] = true
+	}
+	if e.credits[e.injVC] == 0 || !e.injCh.CanSend() {
+		return
+	}
+	f := e.inFlight[0]
+	e.inFlight = e.inFlight[1:]
+	f.VC = e.injVC
+	e.credits[e.injVC]--
+	e.injCh.Send(f)
+	if f.Head {
+		e.curPacket.Inject = now
+	}
+	if f.Tail {
+		e.vcBusy[e.injVC] = false
+		e.curPacket = nil
+		e.injVC = -1
+	}
+}
+
+// pickVC selects a free local input VC for a new packet: unheld, with the
+// most credits; round-robin among ties. Returns -1 when none is free.
+func (e *Endpoint) pickVC() int {
+	best, bestCr := -1, -1
+	for i := 0; i < e.vcs; i++ {
+		v := (e.pickRR + i) % e.vcs
+		if e.vcBusy[v] {
+			continue
+		}
+		if e.credits[v] > bestCr {
+			best, bestCr = v, e.credits[v]
+		}
+	}
+	if best >= 0 {
+		e.pickRR = (best + 1) % e.vcs
+	}
+	return best
+}

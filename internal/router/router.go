@@ -1,0 +1,608 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocsim/internal/alloc"
+	"nocsim/internal/flit"
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+// Config parameterizes one router.
+type Config struct {
+	Mesh     topo.Mesh
+	NodeID   int
+	VCs      int // virtual channels per physical channel
+	BufDepth int // flits of buffering per VC
+	Speedup  int // switch-allocation iterations per cycle (Table 2: 2)
+	Alg      routing.Algorithm
+	Rand     *rand.Rand
+	// Downstream provides the one-hop neighbour status DBAR-style
+	// algorithms exchange; the network implements it. May be nil for
+	// algorithms that never call Context.View.DownstreamIdle.
+	Downstream DownstreamInfo
+	// Metrics receives blocking events and may be nil.
+	Metrics MetricsSink
+	// StickyRouting freezes each packet's VC request set at route
+	// computation time instead of re-evaluating it every cycle while the
+	// packet waits. Off by default: re-evaluation reproduces the paper's
+	// results (see DESIGN.md).
+	StickyRouting bool
+}
+
+// DownstreamInfo answers the neighbour-status queries of adaptive routing:
+// the number of idle adaptive VCs on the productive ports toward dest at
+// the router reached through output port d of router node.
+type DownstreamInfo interface {
+	DownstreamIdle(node int, d topo.Direction, dest int) int
+}
+
+// MetricsSink receives router events; the simulator aggregates them.
+type MetricsSink interface {
+	// OnVCAllocFailure fires when a routed head flit requested VCs but
+	// received no grant this cycle. footprintVCs and busyVCs describe the
+	// adaptive VCs of the requested output port at that moment; the
+	// paper's "purity of blocking" is footprintVCs/busyVCs (Figure 10b).
+	OnVCAllocFailure(node int, footprintVCs, busyVCs int)
+}
+
+// input VC state machine states.
+const (
+	vcIdle    = iota // no packet at the head of the buffer
+	vcRouting        // head flit at front, awaiting an output VC
+	vcActive         // output VC granted; streaming flits
+)
+
+// inVC is one input virtual channel: a flit FIFO plus wormhole state.
+type inVC struct {
+	buf     []*flit.Flit
+	state   int
+	outDir  topo.Direction
+	outVC   int
+	blocked int64 // consecutive cycles the head flit failed allocation
+
+	// reqs is the packet's VC request set, computed once per router when
+	// the head flit reaches the front (BookSim-style sticky routing):
+	// the VC allocator retries this fixed set until a grant. This is
+	// what makes "waiting on footprint channels" effective — a packet
+	// that found its port saturated keeps requesting only its footprint
+	// VCs even as other VCs free up, and claims them on priority.
+	reqs   []routing.Request
+	routed bool
+}
+
+func (v *inVC) front() *flit.Flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return v.buf[0]
+}
+
+func (v *inVC) pop() *flit.Flit {
+	f := v.buf[0]
+	copy(v.buf, v.buf[1:])
+	v.buf = v.buf[:len(v.buf)-1]
+	return f
+}
+
+// outVC is the output-side state of one downstream virtual channel.
+type outVC struct {
+	allocated bool
+	credits   int
+	// owner is the destination of the packets currently occupying the
+	// VC's downstream buffer, cleared when the buffer drains: the live
+	// "footprint VC" state of Section 3.2.
+	owner int
+	// regOwner is the footprint register of Section 4.4: the
+	// destination of the last packet allocated to this VC. As a
+	// hardware register it persists across drains until overwritten, so
+	// a just-drained footprint VC can be re-granted to its own flow
+	// first — the "virtual set-aside queue" persistence of Section 3.3.
+	regOwner int
+	// awaitTailCredit blocks reallocation until the tail flit's credit
+	// returns (Duato-style conservative reallocation).
+	awaitTailCredit bool
+}
+
+// idle reports whether the VC is unoccupied: free for allocation with an
+// empty downstream buffer.
+func (ov *outVC) idle(bufDepth int) bool {
+	return !ov.allocated && !ov.awaitTailCredit && ov.credits == bufDepth
+}
+
+// outPort is one output port: its VC state, the output stage that absorbs
+// the internal speedup, and the attached channel.
+type outPort struct {
+	vcs   []outVC
+	stage []*flit.Flit
+	ch    *Channel
+}
+
+// stageCap bounds the output stage; with speedup s the stage can grow by
+// s-1 flits per cycle, so a small FIFO suffices.
+const stageCap = 4
+
+// Router is one mesh router.
+type Router struct {
+	cfg  Config
+	in   [][]inVC   // [port][vc]
+	out  []*outPort // [port]
+	inCh []*Channel // attached input channels, [port]
+
+	va     *alloc.VCAllocator
+	saIn   []*alloc.RoundRobin // per input port: VC chooser
+	saOut  []*alloc.RoundRobin // per output port: input chooser
+	vaReqs []alloc.VCRequest
+	// reqPort maps requester index -> the output port its adaptive
+	// requests targeted this cycle, for blocking metrics.
+	reqPort []topo.Direction
+	granted []bool // requester index -> granted this cycle
+	saVec   []bool // scratch request vector for switch allocation
+
+	// routingCount/activeCount track how many input VCs of each port are
+	// in the routing/active state, so the per-cycle scans skip idle
+	// ports.
+	routingCount [topo.NumPorts]int
+	activeCount  [topo.NumPorts]int
+
+	// outFlits counts flits sent per output port, for link-utilization
+	// analysis.
+	outFlits [topo.NumPorts]int64
+}
+
+// New constructs a router. Input and output channels are attached later by
+// the network with AttachIn/AttachOut.
+func New(cfg Config) *Router {
+	if cfg.VCs < 1 {
+		panic("router: need at least one VC")
+	}
+	if cfg.Alg.UsesEscape() && cfg.VCs < 2 {
+		panic("router: Duato-based routing needs at least two VCs")
+	}
+	if cfg.BufDepth < 1 {
+		panic("router: need buffer depth >= 1")
+	}
+	if cfg.Speedup < 1 {
+		panic("router: need speedup >= 1")
+	}
+	P := topo.NumPorts
+	r := &Router{
+		cfg:     cfg,
+		in:      make([][]inVC, P),
+		out:     make([]*outPort, P),
+		inCh:    make([]*Channel, P),
+		va:      alloc.NewVCAllocator(P*cfg.VCs, P*cfg.VCs),
+		saIn:    make([]*alloc.RoundRobin, P),
+		saOut:   make([]*alloc.RoundRobin, P),
+		reqPort: make([]topo.Direction, P*cfg.VCs),
+		granted: make([]bool, P*cfg.VCs),
+		saVec:   make([]bool, cfg.VCs),
+	}
+	for p := 0; p < P; p++ {
+		r.in[p] = make([]inVC, cfg.VCs)
+		for v := range r.in[p] {
+			r.in[p][v].buf = make([]*flit.Flit, 0, cfg.BufDepth)
+		}
+		op := &outPort{vcs: make([]outVC, cfg.VCs)}
+		for v := range op.vcs {
+			op.vcs[v] = outVC{credits: cfg.BufDepth, owner: -1, regOwner: -1}
+		}
+		r.out[p] = op
+		r.saIn[p] = alloc.NewRoundRobin(cfg.VCs)
+		r.saOut[p] = alloc.NewRoundRobin(P)
+	}
+	return r
+}
+
+// AttachIn connects ch as the input channel arriving at port d.
+func (r *Router) AttachIn(d topo.Direction, ch *Channel) { r.inCh[d] = ch }
+
+// AttachOut connects ch as the output channel leaving port d.
+func (r *Router) AttachOut(d topo.Direction, ch *Channel) { r.out[d].ch = ch }
+
+// NodeID returns the router's node id.
+func (r *Router) NodeID() int { return r.cfg.NodeID }
+
+// --- routing.View ---------------------------------------------------------
+
+// VCs implements routing.View.
+func (r *Router) VCs() int { return r.cfg.VCs }
+
+// VCIdle implements routing.View: a VC is idle when its downstream buffer
+// is fully drained and no packet holds it. The footprint owner register
+// is independent state and may still name a destination.
+func (r *Router) VCIdle(d topo.Direction, v int) bool {
+	return r.out[d].vcs[v].idle(r.cfg.BufDepth)
+}
+
+// VCOwner implements routing.View.
+func (r *Router) VCOwner(d topo.Direction, v int) int { return r.out[d].vcs[v].owner }
+
+// VCRegOwner implements routing.View: the persistent footprint register.
+func (r *Router) VCRegOwner(d topo.Direction, v int) int { return r.out[d].vcs[v].regOwner }
+
+// DownstreamIdle implements routing.View by delegating to the network.
+func (r *Router) DownstreamIdle(d topo.Direction, dest int) int {
+	if r.cfg.Downstream == nil {
+		return 0
+	}
+	return r.cfg.Downstream.DownstreamIdle(r.cfg.NodeID, d, dest)
+}
+
+// IdleAdaptiveToward returns the number of idle adaptive VCs over the
+// productive output ports of this router toward dest (ejection port when
+// dest is this node). The network uses it to answer DownstreamIdle for
+// neighbours.
+func (r *Router) IdleAdaptiveToward(dest int) int {
+	lo := 0
+	if r.cfg.Alg.UsesEscape() {
+		lo = 1
+	}
+	count := func(d topo.Direction) int {
+		n := 0
+		for v := lo; v < r.cfg.VCs; v++ {
+			if r.out[d].vcs[v].idle(r.cfg.BufDepth) {
+				n++
+			}
+		}
+		return n
+	}
+	if dest == r.cfg.NodeID {
+		return count(topo.Local)
+	}
+	dx, hasX, dy, hasY := r.cfg.Mesh.MinimalDirs(r.cfg.NodeID, dest)
+	n := 0
+	if hasX {
+		n += count(dx)
+	}
+	if hasY {
+		n += count(dy)
+	}
+	return n
+}
+
+// --- per-cycle phases ------------------------------------------------------
+
+// Receive ingests flits and credits that arrived on the attached channels.
+// Phase A; the network runs it for every router before any other phase.
+func (r *Router) Receive() {
+	for p := 0; p < topo.NumPorts; p++ {
+		ch := r.inCh[p]
+		if ch != nil {
+			if f := ch.Recv(); f != nil {
+				iv := &r.in[p][f.VC]
+				if len(iv.buf) >= r.cfg.BufDepth {
+					panic(fmt.Sprintf("router %d: input buffer overflow port %v vc %d",
+						r.cfg.NodeID, topo.Direction(p), f.VC))
+				}
+				iv.buf = append(iv.buf, f)
+				if f.Head {
+					f.Packet.Hops++
+				}
+			}
+		}
+		if och := r.out[p].ch; och != nil {
+			for _, cr := range och.RecvCredits() {
+				ov := &r.out[p].vcs[cr.VC]
+				ov.credits++
+				if ov.credits > r.cfg.BufDepth {
+					panic(fmt.Sprintf("router %d: credit overflow port %v vc %d",
+						r.cfg.NodeID, topo.Direction(p), cr.VC))
+				}
+				if cr.Tail {
+					ov.awaitTailCredit = false
+				}
+				if ov.idle(r.cfg.BufDepth) {
+					// The footprint register clears once the VC fully
+					// drains: a footprint VC is one currently occupied
+					// by packets to its owner destination.
+					ov.owner = -1
+				}
+			}
+		}
+	}
+	// Promote idle input VCs with a buffered head flit to routing state.
+	for p := range r.in {
+		for v := range r.in[p] {
+			iv := &r.in[p][v]
+			if iv.state == vcIdle {
+				if f := iv.front(); f != nil {
+					if !f.Head {
+						panic("router: non-head flit at front of idle VC")
+					}
+					iv.state = vcRouting
+					iv.routed = false
+					iv.blocked = 0
+					r.routingCount[p]++
+				}
+			}
+		}
+	}
+}
+
+// resIndex flattens (port, vc) into a VC-allocator resource index.
+func (r *Router) resIndex(d topo.Direction, vc int) int { return int(d)*r.cfg.VCs + vc }
+
+// AllocateVCs runs route computation and VC allocation for every input VC
+// in routing state. Phase B+C.
+func (r *Router) AllocateVCs() {
+	r.vaReqs = r.vaReqs[:0]
+	for i := range r.granted {
+		r.granted[i] = false
+	}
+	anyRouting := false
+	for p := 0; p < topo.NumPorts; p++ {
+		if r.routingCount[p] == 0 {
+			continue
+		}
+		for v := 0; v < r.cfg.VCs; v++ {
+			iv := &r.in[p][v]
+			if iv.state != vcRouting {
+				continue
+			}
+			anyRouting = true
+			f := iv.front()
+			requester := r.resIndex(topo.Direction(p), v)
+			if !iv.routed || !r.cfg.StickyRouting {
+				// By default the route (and its VC request set) is
+				// re-evaluated every cycle while the packet waits, so
+				// adaptive decisions track the live congestion state.
+				// With Config.StickyRouting the set is computed once per
+				// packet per router and retried until granted; see
+				// DESIGN.md for why the default reproduces the paper's
+				// results and stickiness does not.
+				iv.reqs = iv.reqs[:0]
+				if f.Packet.Dest == r.cfg.NodeID {
+					// Ejection: request every local-port VC obliviously.
+					for ev := 0; ev < r.cfg.VCs; ev++ {
+						iv.reqs = append(iv.reqs, routing.Request{Dir: topo.Local, VC: ev, Pri: alloc.Low})
+					}
+					r.reqPort[requester] = topo.Local
+				} else {
+					ctx := routing.Context{
+						Mesh:  r.cfg.Mesh,
+						Cur:   r.cfg.NodeID,
+						Dest:  f.Packet.Dest,
+						InDir: topo.Direction(p),
+						View:  r,
+						Rand:  r.cfg.Rand,
+					}
+					iv.reqs = r.cfg.Alg.Route(&ctx, iv.reqs)
+					if len(iv.reqs) > 0 {
+						// The first request's port is the adaptive choice
+						// (escape request is appended last by convention).
+						r.reqPort[requester] = iv.reqs[0].Dir
+					}
+				}
+				iv.routed = true
+			}
+			for _, rq := range iv.reqs {
+				ov := &r.out[rq.Dir].vcs[rq.VC]
+				if ov.allocated || ov.awaitTailCredit {
+					continue // not allocatable this cycle
+				}
+				r.vaReqs = append(r.vaReqs, alloc.VCRequest{
+					Requester: requester,
+					Resource:  r.resIndex(rq.Dir, rq.VC),
+					Pri:       rq.Pri,
+				})
+			}
+		}
+	}
+	if !anyRouting {
+		return
+	}
+
+	grants := r.va.Allocate(r.vaReqs)
+	for _, g := range grants {
+		r.granted[g.Requester] = true
+		p := topo.Direction(g.Requester / r.cfg.VCs)
+		v := g.Requester % r.cfg.VCs
+		od := topo.Direction(g.Resource / r.cfg.VCs)
+		ovc := g.Resource % r.cfg.VCs
+		iv := &r.in[p][v]
+		iv.state = vcActive
+		iv.outDir = od
+		iv.outVC = ovc
+		r.routingCount[p]--
+		r.activeCount[p]++
+		ov := &r.out[od].vcs[ovc]
+		ov.allocated = true
+		ov.owner = iv.front().Packet.Dest
+		ov.regOwner = ov.owner
+	}
+
+	// Blocking bookkeeping: every head packet that tried and failed.
+	for p := 0; p < topo.NumPorts; p++ {
+		if r.routingCount[p] == 0 {
+			continue
+		}
+		for v := 0; v < r.cfg.VCs; v++ {
+			requester := r.resIndex(topo.Direction(p), v)
+			iv := &r.in[p][v]
+			if iv.state != vcRouting || r.granted[requester] {
+				continue
+			}
+			iv.blocked++
+			if r.cfg.Metrics != nil {
+				fp, busy := r.portOccupancy(r.reqPort[requester], iv.front().Packet.Dest)
+				r.cfg.Metrics.OnVCAllocFailure(r.cfg.NodeID, fp, busy)
+			}
+		}
+	}
+}
+
+// portOccupancy counts footprint and busy adaptive VCs of port d with
+// respect to dest.
+func (r *Router) portOccupancy(d topo.Direction, dest int) (fp, busy int) {
+	lo := 0
+	if r.cfg.Alg.UsesEscape() {
+		lo = 1
+	}
+	for v := lo; v < r.cfg.VCs; v++ {
+		ov := &r.out[d].vcs[v]
+		if ov.idle(r.cfg.BufDepth) {
+			continue
+		}
+		busy++
+		if ov.owner == dest {
+			fp++
+		}
+	}
+	return fp, busy
+}
+
+// SwitchAndTraverse performs switch allocation and switch traversal for
+// Speedup iterations, then drains one flit per output port onto its
+// channel. Phase D+E.
+func (r *Router) SwitchAndTraverse() {
+	P := topo.NumPorts
+	for iter := 0; iter < r.cfg.Speedup; iter++ {
+		// Input stage: each input port nominates one ready VC.
+		type nominee struct {
+			vc int
+			ok bool
+		}
+		var noms [topo.NumPorts]nominee
+		var outReq [topo.NumPorts][topo.NumPorts]bool // [out][in]
+		for p := 0; p < P; p++ {
+			if r.activeCount[p] == 0 {
+				continue
+			}
+			for v := range r.saVec {
+				r.saVec[v] = r.vcReady(p, v)
+			}
+			if v := r.saIn[p].Arbitrate(r.saVec); v >= 0 {
+				noms[p] = nominee{vc: v, ok: true}
+				outReq[r.in[p][v].outDir][p] = true
+			}
+		}
+		// Output stage: each output port grants one input port.
+		for o := 0; o < P; o++ {
+			in := r.saOut[o].Arbitrate(outReq[o][:])
+			if in < 0 {
+				continue
+			}
+			r.traverse(in, noms[in].vc)
+		}
+	}
+	// Link traversal: one flit per output channel per cycle.
+	for o := 0; o < P; o++ {
+		op := r.out[o]
+		if len(op.stage) == 0 || op.ch == nil || !op.ch.CanSend() {
+			continue
+		}
+		f := op.stage[0]
+		copy(op.stage, op.stage[1:])
+		op.stage = op.stage[:len(op.stage)-1]
+		op.ch.Send(f)
+		r.outFlits[o]++
+	}
+}
+
+// OutputFlits returns the number of flits the router has sent through
+// output port d since construction, for utilization analysis.
+func (r *Router) OutputFlits(d topo.Direction) int64 { return r.outFlits[d] }
+
+// vcReady reports whether input VC (p, v) can traverse the switch now.
+func (r *Router) vcReady(p, v int) bool {
+	iv := &r.in[p][v]
+	if iv.state != vcActive || len(iv.buf) == 0 {
+		return false
+	}
+	op := r.out[iv.outDir]
+	return op.vcs[iv.outVC].credits > 0 && len(op.stage) < stageCap
+}
+
+// traverse moves the front flit of input VC (p, v) into its output stage,
+// returning a credit upstream and managing wormhole state.
+func (r *Router) traverse(p, v int) {
+	iv := &r.in[p][v]
+	f := iv.pop()
+	ov := &r.out[iv.outDir].vcs[iv.outVC]
+	f.VC = iv.outVC
+	ov.credits--
+	r.out[iv.outDir].stage = append(r.out[iv.outDir].stage, f)
+
+	// Return a credit for the freed input buffer slot.
+	if ch := r.inCh[p]; ch != nil {
+		ch.SendCredit(flit.Credit{VC: v, Tail: f.Tail})
+	}
+
+	if f.Tail {
+		ov.allocated = false
+		if r.cfg.Alg.ConservativeRealloc() {
+			ov.awaitTailCredit = true
+		}
+		// Next packet (if already buffered) starts routing next cycle.
+		r.activeCount[p]--
+		iv.state = vcIdle
+		if nf := iv.front(); nf != nil {
+			if !nf.Head {
+				panic("router: flit interleaving detected")
+			}
+			iv.state = vcRouting
+			iv.routed = false
+			iv.blocked = 0
+			r.routingCount[p]++
+		}
+	}
+}
+
+// InputBufferUse returns the number of buffered flits at input port d,
+// VC v; the congestion-tree analyzer reads it.
+func (r *Router) InputBufferUse(d topo.Direction, v int) int {
+	return len(r.in[d][v].buf)
+}
+
+// InputVCBlocked returns how many consecutive cycles the head packet of
+// input VC (d, v) has failed VC allocation; 0 when not blocked.
+func (r *Router) InputVCBlocked(d topo.Direction, v int) int64 {
+	iv := &r.in[d][v]
+	if iv.state != vcRouting {
+		return 0
+	}
+	return iv.blocked
+}
+
+// InputVCDest returns the destination of the packet at the front of input
+// VC (d, v), or -1 when empty.
+func (r *Router) InputVCDest(d topo.Direction, v int) int {
+	f := r.in[d][v].front()
+	if f == nil {
+		return -1
+	}
+	return f.Packet.Dest
+}
+
+// InputVCPurity inspects the buffer of input VC (d, v): occupied reports
+// whether it holds any flits, and pure whether every buffered packet
+// shares one destination. A pure VC blocks only its own flow (a footprint
+// chain); an impure VC is head-of-line blocking unrelated packets. The
+// paper's Figure 10(b) "purity of blocking" aggregates this.
+func (r *Router) InputVCPurity(d topo.Direction, v int) (occupied, pure bool) {
+	buf := r.in[d][v].buf
+	if len(buf) == 0 {
+		return false, false
+	}
+	dest := buf[0].Packet.Dest
+	for _, f := range buf[1:] {
+		if f.Packet.Dest != dest {
+			return true, false
+		}
+	}
+	return true, true
+}
+
+// OutVCAllocated reports whether output VC (d, v) is currently held by a
+// packet.
+func (r *Router) OutVCAllocated(d topo.Direction, v int) bool {
+	return r.out[d].vcs[v].allocated
+}
+
+// OutVCCredits returns the available credits of output VC (d, v).
+func (r *Router) OutVCCredits(d topo.Direction, v int) int {
+	return r.out[d].vcs[v].credits
+}

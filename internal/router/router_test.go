@@ -1,0 +1,385 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocsim/internal/alloc"
+	"nocsim/internal/flit"
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+// scriptAlg issues fixed requests per destination, for microarchitecture
+// unit tests.
+type scriptAlg struct {
+	reqs         map[int][]routing.Request
+	escape       bool
+	conservative bool
+}
+
+func (s *scriptAlg) Name() string              { return "script" }
+func (s *scriptAlg) UsesEscape() bool          { return s.escape }
+func (s *scriptAlg) ConservativeRealloc() bool { return s.conservative }
+func (s *scriptAlg) Route(ctx *routing.Context, out []routing.Request) []routing.Request {
+	return append(out, s.reqs[ctx.Dest]...)
+}
+
+func testRouter(t *testing.T, alg routing.Algorithm, vcs int) (*Router, map[topo.Direction]*Channel, map[topo.Direction]*Channel) {
+	t.Helper()
+	r := New(Config{
+		Mesh: topo.MustNew(4, 4), NodeID: 5, VCs: vcs, BufDepth: 4,
+		Speedup: 2, Alg: alg, Rand: rand.New(rand.NewSource(1)),
+	})
+	ins := map[topo.Direction]*Channel{}
+	outs := map[topo.Direction]*Channel{}
+	for d := topo.East; d <= topo.Local; d++ {
+		ins[d] = NewChannel()
+		outs[d] = NewChannel()
+		r.AttachIn(d, ins[d])
+		r.AttachOut(d, outs[d])
+	}
+	return r, ins, outs
+}
+
+func headFlit(id uint64, dest, size int) []*flit.Flit {
+	return flit.Segment(&flit.Packet{ID: id, Src: 0, Dest: dest, Size: size})
+}
+
+func TestNewValidation(t *testing.T) {
+	alg := &scriptAlg{}
+	cases := []Config{
+		{Mesh: topo.MustNew(2, 2), VCs: 0, BufDepth: 4, Speedup: 1, Alg: alg},
+		{Mesh: topo.MustNew(2, 2), VCs: 2, BufDepth: 0, Speedup: 1, Alg: alg},
+		{Mesh: topo.MustNew(2, 2), VCs: 2, BufDepth: 4, Speedup: 0, Alg: alg},
+		{Mesh: topo.MustNew(2, 2), VCs: 1, BufDepth: 4, Speedup: 1, Alg: &scriptAlg{escape: true}},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestSingleFlitTraversal(t *testing.T) {
+	alg := &scriptAlg{reqs: map[int][]routing.Request{
+		6: {{Dir: topo.East, VC: 1, Pri: alloc.Low}},
+	}}
+	r, ins, outs := testRouter(t, alg, 2)
+	f := headFlit(1, 6, 1)[0]
+	f.VC = 0
+	ins[topo.West].Send(f)
+	ins[topo.West].Tick()
+
+	r.Receive()
+	r.AllocateVCs()
+	r.SwitchAndTraverse()
+	outs[topo.East].Tick()
+
+	got := outs[topo.East].Recv()
+	if got == nil {
+		t.Fatal("flit did not traverse in one cycle")
+	}
+	if got.VC != 1 {
+		t.Errorf("output VC = %d, want 1 (rewritten by VA)", got.VC)
+	}
+	// Credit for the freed input slot goes back upstream.
+	ins[topo.West].Tick()
+	crs := ins[topo.West].RecvCredits()
+	if len(crs) != 1 || crs[0].VC != 0 || !crs[0].Tail {
+		t.Errorf("upstream credit = %v", crs)
+	}
+}
+
+func TestOwnerRegisterLifecycle(t *testing.T) {
+	alg := &scriptAlg{reqs: map[int][]routing.Request{
+		6: {{Dir: topo.East, VC: 1, Pri: alloc.Low}},
+	}}
+	r, ins, outs := testRouter(t, alg, 2)
+	f := headFlit(1, 6, 1)[0]
+	f.VC = 0
+	ins[topo.West].Send(f)
+	ins[topo.West].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	if got := r.VCOwner(topo.East, 1); got != 6 {
+		t.Fatalf("owner after allocation = %d, want 6", got)
+	}
+	if r.VCIdle(topo.East, 1) {
+		t.Error("allocated VC reported idle")
+	}
+	r.SwitchAndTraverse()
+	// Flit left; downstream must drain and return the credit before the
+	// owner clears.
+	if got := r.VCOwner(topo.East, 1); got != 6 {
+		t.Error("owner cleared before downstream drained")
+	}
+	outs[topo.East].SendCredit(flit.Credit{VC: 1, Tail: true})
+	outs[topo.East].Tick()
+	r.Receive()
+	if got := r.VCOwner(topo.East, 1); got != -1 {
+		t.Errorf("owner after drain = %d, want -1", got)
+	}
+	if !r.VCIdle(topo.East, 1) {
+		t.Error("drained VC not idle")
+	}
+}
+
+func TestConservativeReallocWaitsForTailCredit(t *testing.T) {
+	alg := &scriptAlg{
+		reqs: map[int][]routing.Request{
+			6: {{Dir: topo.East, VC: 1, Pri: alloc.Low}},
+		},
+		conservative: true,
+	}
+	r, ins, outs := testRouter(t, alg, 2)
+	f1 := headFlit(1, 6, 1)[0]
+	f1.VC = 0
+	ins[topo.West].Send(f1)
+	ins[topo.West].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	r.SwitchAndTraverse()
+
+	// Second packet arrives wanting the same output VC.
+	f2 := headFlit(2, 6, 1)[0]
+	f2.VC = 1
+	ins[topo.West].Send(f2)
+	ins[topo.West].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	if r.OutVCAllocated(topo.East, 1) {
+		t.Fatal("VC reallocated before tail credit (conservative realloc broken)")
+	}
+	// Tail credit arrives; now reallocation may happen.
+	outs[topo.East].SendCredit(flit.Credit{VC: 1, Tail: true})
+	outs[topo.East].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	if !r.OutVCAllocated(topo.East, 1) {
+		t.Fatal("VC not reallocated after tail credit")
+	}
+}
+
+func TestEagerReallocAfterTailSend(t *testing.T) {
+	alg := &scriptAlg{
+		reqs: map[int][]routing.Request{
+			6: {{Dir: topo.East, VC: 1, Pri: alloc.Low}},
+		},
+		conservative: false,
+	}
+	r, ins, _ := testRouter(t, alg, 2)
+	f1 := headFlit(1, 6, 1)[0]
+	f1.VC = 0
+	ins[topo.West].Send(f1)
+	ins[topo.West].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	r.SwitchAndTraverse()
+
+	f2 := headFlit(2, 6, 1)[0]
+	f2.VC = 1
+	ins[topo.West].Send(f2)
+	ins[topo.West].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	if !r.OutVCAllocated(topo.East, 1) {
+		t.Fatal("eager realloc should allow immediate reallocation after tail send")
+	}
+}
+
+func TestWormholeHoldsVCForWholePacket(t *testing.T) {
+	alg := &scriptAlg{reqs: map[int][]routing.Request{
+		6: {{Dir: topo.East, VC: 0, Pri: alloc.Low}},
+	}}
+	r, ins, outs := testRouter(t, alg, 2)
+	flits := headFlit(1, 6, 3)
+	for i, f := range flits {
+		f.VC = 0
+		ins[topo.West].Send(f)
+		ins[topo.West].Tick()
+		r.Receive()
+		r.AllocateVCs()
+		r.SwitchAndTraverse()
+		outs[topo.East].Tick()
+		got := outs[topo.East].Recv()
+		if got == nil {
+			t.Fatalf("flit %d stalled", i)
+		}
+		if got.Seq != i {
+			t.Fatalf("flit order broken: got seq %d at position %d", got.Seq, i)
+		}
+		midPacket := i < len(flits)-1
+		if r.OutVCAllocated(topo.East, 0) != midPacket {
+			t.Errorf("after flit %d: allocated=%v, want %v", i, !midPacket, midPacket)
+		}
+	}
+}
+
+func TestCreditsNeverExceedDepth(t *testing.T) {
+	alg := &scriptAlg{}
+	r, _, outs := testRouter(t, alg, 2)
+	outs[topo.East].SendCredit(flit.Credit{VC: 0})
+	outs[topo.East].Tick()
+	defer func() {
+		if recover() == nil {
+			t.Error("credit overflow not detected")
+		}
+	}()
+	r.Receive() // credits already at depth: must panic
+}
+
+func TestStickyRoutingFreezesRequests(t *testing.T) {
+	// With sticky routing the algorithm must be consulted exactly once
+	// per packet per router even while blocked.
+	calls := 0
+	alg := &countingScriptAlg{
+		scriptAlg: scriptAlg{reqs: map[int][]routing.Request{
+			6: {{Dir: topo.East, VC: 0, Pri: alloc.Low}},
+		}},
+		calls: &calls,
+	}
+	r := New(Config{
+		Mesh: topo.MustNew(4, 4), NodeID: 5, VCs: 2, BufDepth: 4,
+		Speedup: 2, Alg: alg, Rand: rand.New(rand.NewSource(1)),
+		StickyRouting: true,
+	})
+	in := NewChannel()
+	r.AttachIn(topo.West, in)
+	out := NewChannel()
+	r.AttachOut(topo.East, out)
+	// Block the target VC by pre-allocating it.
+	blocker := headFlit(9, 6, 2)[0]
+	blocker.VC = 1
+	in.Send(blocker)
+	in.Tick()
+	r.Receive()
+	r.AllocateVCs() // blocker takes East VC0
+	f := headFlit(1, 6, 1)[0]
+	f.VC = 0
+	in.Send(f)
+	in.Tick()
+	r.Receive()
+	for i := 0; i < 5; i++ {
+		r.AllocateVCs() // blocked: East VC0 is held
+	}
+	if calls != 2 { // once for the blocker, once for the blocked packet
+		t.Errorf("route computed %d times under sticky routing, want 2", calls)
+	}
+}
+
+type countingScriptAlg struct {
+	scriptAlg
+	calls *int
+}
+
+func (c *countingScriptAlg) Route(ctx *routing.Context, out []routing.Request) []routing.Request {
+	*c.calls++
+	return c.scriptAlg.Route(ctx, out)
+}
+
+func TestEjectionRequestsLocalPort(t *testing.T) {
+	alg := &scriptAlg{}
+	r, ins, outs := testRouter(t, alg, 2)
+	f := headFlit(1, 5, 1)[0] // dest == NodeID
+	f.VC = 0
+	ins[topo.West].Send(f)
+	ins[topo.West].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	r.SwitchAndTraverse()
+	outs[topo.Local].Tick()
+	if got := outs[topo.Local].Recv(); got == nil {
+		t.Fatal("packet for this node not sent to the local port")
+	}
+}
+
+func TestInputVCBlockedCounter(t *testing.T) {
+	// A packet whose only requested VC is held must accumulate blocked
+	// cycles.
+	alg := &scriptAlg{reqs: map[int][]routing.Request{
+		6: {{Dir: topo.East, VC: 0, Pri: alloc.Low}},
+	}}
+	r, ins, _ := testRouter(t, alg, 2)
+	b := headFlit(9, 6, 2)[0] // multi-flit: holds the VC
+	b.VC = 0
+	ins[topo.West].Send(b)
+	ins[topo.West].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	f := headFlit(1, 6, 1)[0]
+	f.VC = 1
+	ins[topo.West].Send(f)
+	ins[topo.West].Tick()
+	r.Receive()
+	for i := 0; i < 3; i++ {
+		r.AllocateVCs()
+	}
+	if got := r.InputVCBlocked(topo.West, 1); got != 3 {
+		t.Errorf("blocked = %d, want 3", got)
+	}
+	if got := r.InputVCBlocked(topo.West, 0); got != 0 {
+		t.Errorf("active VC blocked = %d, want 0", got)
+	}
+}
+
+func TestInputVCPurity(t *testing.T) {
+	alg := &scriptAlg{}
+	r, ins, _ := testRouter(t, alg, 2)
+	if occ, _ := r.InputVCPurity(topo.West, 0); occ {
+		t.Error("empty VC reported occupied")
+	}
+	// Two single-flit packets to the same dest share VC0's buffer: pure.
+	for _, id := range []uint64{1, 2} {
+		f := headFlit(id, 6, 1)[0]
+		f.VC = 0
+		ins[topo.West].Send(f)
+		ins[topo.West].Tick()
+		r.Receive()
+	}
+	if occ, pure := r.InputVCPurity(topo.West, 0); !occ || !pure {
+		t.Errorf("same-dest buffer: occ=%v pure=%v, want true,true", occ, pure)
+	}
+	// Mixed destinations in VC1: impure.
+	for i, dest := range []int{6, 9} {
+		f := headFlit(uint64(10+i), dest, 1)[0]
+		f.VC = 1
+		ins[topo.West].Send(f)
+		ins[topo.West].Tick()
+		r.Receive()
+	}
+	if occ, pure := r.InputVCPurity(topo.West, 1); !occ || pure {
+		t.Errorf("mixed buffer: occ=%v pure=%v, want true,false", occ, pure)
+	}
+}
+
+func TestSpeedupMovesTwoFlitsPerCycle(t *testing.T) {
+	// Two packets on different input VCs to different output VCs: with
+	// speedup 2 both traverse in one cycle.
+	alg := &scriptAlg{reqs: map[int][]routing.Request{
+		6: {{Dir: topo.East, VC: 0, Pri: alloc.Low}},
+		9: {{Dir: topo.South, VC: 0, Pri: alloc.Low}},
+	}}
+	r, ins, outs := testRouter(t, alg, 2)
+	fa := headFlit(1, 6, 1)[0]
+	fa.VC = 0
+	fb := headFlit(2, 9, 1)[0]
+	fb.VC = 1
+	ins[topo.West].Send(fa)
+	ins[topo.North].Send(fb)
+	ins[topo.West].Tick()
+	ins[topo.North].Tick()
+	r.Receive()
+	r.AllocateVCs()
+	r.SwitchAndTraverse()
+	outs[topo.East].Tick()
+	outs[topo.South].Tick()
+	if outs[topo.East].Recv() == nil || outs[topo.South].Recv() == nil {
+		t.Error("speedup-2 router failed to move two flits in one cycle")
+	}
+}

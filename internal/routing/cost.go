@@ -1,0 +1,43 @@
+package routing
+
+import "math/bits"
+
+// This file implements the hardware cost model of Section 4.4: Footprint
+// needs only local state — an idle-VC counter per port and an owner
+// register per VC — on top of a conventional fully-adaptive router.
+
+// Cost summarizes Footprint's per-port storage overhead.
+type Cost struct {
+	NetworkSize int // nodes
+	VCsPerPort  int
+	// IdleCounterBits tracks the number of idle VCs: log2(#VCs) bits,
+	// rounded up to count 0..#VCs.
+	IdleCounterBits int
+	// OwnerBitsPerVC identifies the destination owning a VC: log2(N).
+	OwnerBitsPerVC int
+	// TotalBitsPerPort is the headline figure; for the paper's 8×8 mesh
+	// with 16 VCs it is on the order of one extra flit buffer entry.
+	TotalBitsPerPort int
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// FootprintCost computes the Section 4.4 storage overhead for a network of
+// nodes endpoints and vcs virtual channels per physical channel.
+func FootprintCost(nodes, vcs int) Cost {
+	idleBits := log2ceil(vcs + 1) // counter range 0..vcs
+	ownerBits := log2ceil(nodes)
+	return Cost{
+		NetworkSize:      nodes,
+		VCsPerPort:       vcs,
+		IdleCounterBits:  idleBits,
+		OwnerBitsPerVC:   ownerBits,
+		TotalBitsPerPort: idleBits + vcs*ownerBits,
+	}
+}

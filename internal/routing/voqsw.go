@@ -1,0 +1,94 @@
+package routing
+
+import (
+	"nocsim/internal/alloc"
+	"nocsim/internal/topo"
+)
+
+// VOQSW is the switch-level virtual output queueing of McKeown et al.
+// (INFOCOM'96) as adapted to NoCs and cited in footnote 5 of the paper:
+// virtual channels are statically partitioned by the output port the
+// packet will take at the *next* router, so packets bound for different
+// downstream directions never share a VC and cannot HoL-block each other
+// across one hop.
+//
+// Like XORDET it is applied as an overlay: the base algorithm selects the
+// output port; VOQSW selects the VC class. The next-hop output port is
+// computed with dimension-order routing, which is exact for DOR bases and
+// a deterministic approximation for adaptive bases. The paper evaluated
+// VOQ_sw but omitted its results because XORDET dominated it; it is
+// provided here for completeness.
+type VOQSW struct {
+	base Algorithm
+}
+
+// NewVOQSW wraps base with switch-VOQ VC selection.
+func NewVOQSW(base Algorithm) *VOQSW { return &VOQSW{base: base} }
+
+// Name implements Algorithm.
+func (v *VOQSW) Name() string { return v.base.Name() + "+voqsw" }
+
+// UsesEscape implements Algorithm, deferring to the base.
+func (v *VOQSW) UsesEscape() bool { return v.base.UsesEscape() }
+
+// ConservativeRealloc implements Algorithm, deferring to the base.
+func (v *VOQSW) ConservativeRealloc() bool { return v.base.ConservativeRealloc() }
+
+// nextHopClass returns the VC class for a packet leaving cur through out
+// toward dest: the dimension-order output direction it will take at the
+// next router (Local when the next router is the destination), folded
+// onto nClasses.
+func nextHopClass(m topo.Mesh, cur int, out topo.Direction, dest, nClasses int) int {
+	next, ok := m.Neighbor(cur, out)
+	if !ok {
+		return 0
+	}
+	var class int
+	if next == dest {
+		class = int(topo.Local)
+	} else {
+		class = int(dorDir(m, next, dest))
+	}
+	return class % nClasses
+}
+
+// Route implements Algorithm: take the base algorithm's port decision and
+// rewrite the adaptive requests to the next-hop-output VC class.
+func (v *VOQSW) Route(ctx *Context, reqs []Request) []Request {
+	base := len(reqs)
+	reqs = v.base.Route(ctx, reqs)
+
+	nVCs := ctx.View.VCs()
+	lo := adaptiveVCRange(v.base.UsesEscape(), nVCs)
+
+	var dir topo.Direction
+	found := false
+	escReq := Request{Pri: alloc.None}
+	for _, r := range reqs[base:] {
+		if v.base.UsesEscape() && r.VC == 0 && r.Pri == alloc.Lowest {
+			escReq = r
+			continue
+		}
+		if !found {
+			dir, found = r.Dir, true
+		}
+	}
+	reqs = reqs[:base]
+	if found {
+		vc := lo + nextHopClass(ctx.Mesh, ctx.Cur, dir, ctx.Dest, nVCs-lo)
+		reqs = append(reqs, Request{Dir: dir, VC: vc, Pri: alloc.Low})
+	}
+	if escReq.Pri != alloc.None {
+		reqs = append(reqs, escReq)
+	}
+	return reqs
+}
+
+var _ Algorithm = (*VOQSW)(nil)
+
+func init() {
+	for _, base := range []string{"dor", "oddeven", "dbar"} {
+		base := base
+		Register(base+"+voqsw", func() Algorithm { return NewVOQSW(MustNew(base)) })
+	}
+}

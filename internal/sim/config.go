@@ -1,0 +1,95 @@
+// Package sim is the experiment engine: it assembles a network, drives
+// traffic generators or traces through warmup/measurement/drain phases,
+// collects latency, throughput and blocking statistics, searches for
+// saturation throughput, and analyzes congestion trees. Every table and
+// figure of the paper is regenerated through this package.
+package sim
+
+import (
+	"fmt"
+
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+// Config holds the network parameters of one simulation, mirroring
+// Table 2. The zero value is not usable; start from DefaultConfig.
+type Config struct {
+	Width, Height int
+	// VCs per physical channel (Table 2 default: 10).
+	VCs int
+	// BufDepth is the per-VC buffer size in flits (Table 2: 4).
+	BufDepth int
+	// Speedup is the router's internal speedup (Table 2: 2).
+	Speedup int
+	// Algorithm names the routing algorithm (see routing.Names).
+	Algorithm string
+	// AlgFactory, when non-nil, overrides Algorithm with a custom
+	// constructor — used by ablation studies to run parameterized
+	// variants (e.g. a Footprint with a non-default threshold) that are
+	// not in the registry.
+	AlgFactory func() routing.Algorithm
+	// Seed drives every stochastic choice; equal seeds give identical
+	// runs.
+	Seed int64
+	// StickyRouting freezes per-packet VC request sets at route
+	// computation time (see router.Config.StickyRouting). Off by
+	// default; the default reproduces the paper's results.
+	StickyRouting bool
+	// SlowEndpoints maps node id -> consume interval for endpoints whose
+	// ejection bandwidth is below port bandwidth, the second source of
+	// endpoint congestion in Section 2 of the paper.
+	SlowEndpoints map[int]int
+
+	// WarmupCycles run before measurement starts.
+	WarmupCycles int64
+	// MeasureCycles is the measurement window length.
+	MeasureCycles int64
+	// DrainCycles bounds the post-measurement drain phase in which
+	// measured packets still in flight are awaited (traffic keeps
+	// flowing). A saturated network will exhaust this bound.
+	DrainCycles int64
+}
+
+// DefaultConfig returns the paper's baseline configuration: 8×8 mesh,
+// 10 VCs with 4-flit buffers, speedup 2, Footprint routing.
+func DefaultConfig() Config {
+	return Config{
+		Width: 8, Height: 8,
+		VCs:       10,
+		BufDepth:  4,
+		Speedup:   2,
+		Algorithm: "footprint",
+		Seed:      1,
+
+		WarmupCycles:  10000,
+		MeasureCycles: 10000,
+		DrainCycles:   50000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("sim: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	if c.VCs < 1 {
+		return fmt.Errorf("sim: need at least 1 VC, have %d", c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("sim: need buffer depth >= 1, have %d", c.BufDepth)
+	}
+	if c.Speedup < 1 {
+		return fmt.Errorf("sim: need speedup >= 1, have %d", c.Speedup)
+	}
+	if c.Algorithm == "" && c.AlgFactory == nil {
+		return fmt.Errorf("sim: no routing algorithm configured")
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 || c.DrainCycles < 0 {
+		return fmt.Errorf("sim: invalid phase lengths")
+	}
+	return nil
+}
+
+// Mesh returns the configured topology.
+func (c Config) Mesh() topo.Mesh { return topo.MustNew(c.Width, c.Height) }

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/traffic"
+)
+
+// HotspotPoint is one x-axis position of Figure 9: the hotspot flows of
+// Table 3 inject at Rate while background nodes inject uniform traffic at
+// a fixed rate; only the background latency is reported.
+type HotspotPoint struct {
+	Rate              float64 // hotspot injection rate, flits/node/cycle
+	BackgroundLatency float64
+	BackgroundP99     float64
+	Stable            bool
+	Result            *Result
+}
+
+// HotspotCurve reproduces Figure 9 for one algorithm: background latency
+// as a function of the hotspot injection rate. cfg must describe an 8×8
+// mesh, since Table 3's flows are defined on it. bgRate is the constant
+// background load (the paper uses 0.30).
+func HotspotCurve(cfg Config, bgRate float64, hotspotRates []float64) ([]HotspotPoint, error) {
+	if cfg.Width != 8 || cfg.Height != 8 {
+		return nil, fmt.Errorf("sim: Table 3 hotspot flows require an 8x8 mesh, have %dx%d", cfg.Width, cfg.Height)
+	}
+	flows := traffic.HotspotFlows()
+	sources := make([]int, 0, len(flows.Flows))
+	for s := range flows.Flows {
+		sources = append(sources, s)
+	}
+	// Deterministic source order for reproducibility.
+	for i := 1; i < len(sources); i++ {
+		for j := i; j > 0 && sources[j] < sources[j-1]; j-- {
+			sources[j], sources[j-1] = sources[j-1], sources[j]
+		}
+	}
+
+	var points []HotspotPoint
+	for _, rate := range hotspotRates {
+		hot := &traffic.Generator{
+			Nodes:   sources,
+			Pattern: flows,
+			Rate:    rate,
+			Class:   flit.ClassHotspot,
+		}
+		bg := &traffic.Generator{
+			Nodes:   traffic.BackgroundNodes(cfg.Mesh()),
+			Pattern: traffic.Uniform{Nodes: cfg.Mesh().Nodes()},
+			Rate:    bgRate,
+			Class:   flit.ClassBackground,
+		}
+		s, err := New(cfg, hot, bg)
+		if err != nil {
+			return nil, err
+		}
+		res := s.Run()
+		points = append(points, HotspotPoint{
+			Rate:              rate,
+			BackgroundLatency: res.AvgLatency(flit.ClassBackground),
+			BackgroundP99:     res.P99,
+			Stable:            res.Stable,
+			Result:            res,
+		})
+	}
+	return points, nil
+}
+
+// HotspotSaturation returns the lowest tested hotspot rate at which the
+// background traffic saturates (latency beyond factor× the first point's
+// latency, or unstable), or the last rate + step when none saturates.
+func HotspotSaturation(points []HotspotPoint, factor float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	base := points[0].BackgroundLatency
+	for _, p := range points {
+		if !p.Stable || p.BackgroundLatency > factor*base {
+			return p.Rate
+		}
+	}
+	return points[len(points)-1].Rate
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/network"
+	"nocsim/internal/routing"
+	"nocsim/internal/stats"
+	"nocsim/internal/topo"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Config Config
+	// Offered is the measured offered load in flits/node/cycle over the
+	// measurement window.
+	Offered float64
+	// Accepted is the ejected-flit rate in flits/node/cycle over the
+	// measurement window (all classes).
+	Accepted float64
+	// Latency aggregates packet latency (creation to tail ejection) of
+	// measured packets, per traffic class.
+	Latency map[flit.Class]*stats.Summary
+	// P99 is the 99th-percentile latency of measured background packets.
+	P99 float64
+	// MeasuredEjected counts measured packets that completed; Measured
+	// counts packets born in the window. Their gap indicates saturation.
+	Measured, MeasuredEjected int64
+	// Stable reports that every measured packet drained within the
+	// drain budget — false means the network was saturated.
+	Stable bool
+	// Purity is the paper's purity of blocking (Figure 10b): per
+	// VC-allocation failure, the footprint share of the busy VCs at the
+	// requested port, averaged over failures. HoLDegree is impurity ×
+	// blocking events per thousand measured packets (Figure 10c).
+	// BlockEvents is the raw VC-allocation failure count. BufferPurity
+	// is a secondary diagnostic: the fraction of occupied input VC
+	// buffers holding packets of a single destination.
+	Purity       float64
+	HoLDegree    float64
+	BlockEvents  int64
+	BufferPurity float64
+}
+
+// AvgLatency returns the mean latency of measured packets of class c.
+func (r *Result) AvgLatency(c flit.Class) float64 {
+	s, ok := r.Latency[c]
+	if !ok || s.N() == 0 {
+		return 0
+	}
+	return s.Mean()
+}
+
+// Injector produces traffic cycle by cycle. traffic.Generator is the
+// synthetic implementation; trace players implement it too.
+type Injector interface {
+	// Init prepares the injector for mesh m with the simulation's RNG.
+	Init(m topo.Mesh, rng *rand.Rand)
+	// Tick emits this cycle's packets through offer, with Born set to
+	// now.
+	Tick(now int64, offer func(*flit.Packet))
+}
+
+// EjectObserver is implemented by injectors that need packet completion
+// notifications (e.g. dependency-tracking trace players).
+type EjectObserver interface {
+	OnEject(p *flit.Packet)
+}
+
+// Simulation drives one network through the measurement phases.
+type Simulation struct {
+	cfg  Config
+	net  *network.Network
+	gens []Injector
+	rng  *rand.Rand
+	met  *metrics
+
+	nextID    uint64
+	measuring bool
+	measStart int64
+	measEnd   int64
+
+	measured        int64
+	measuredEjected int64
+	offeredFlits    int64 // flits offered during the measurement window
+	ejectedFlits    int64 // flits ejected during the measurement window
+
+	latency map[flit.Class]*stats.Summary
+	hist    *stats.Histogram
+
+	observers []EjectObserver
+
+	// PacketHook, when set, observes every ejected packet (measured or
+	// not); congestion analyzers use it.
+	PacketHook func(p *flit.Packet)
+}
+
+// New assembles a simulation from a validated config and its traffic
+// injectors. Injectors must not be shared between simulations.
+func New(cfg Config, gens ...Injector) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	newAlg := cfg.AlgFactory
+	if newAlg == nil {
+		if _, err := routing.New(cfg.Algorithm); err != nil {
+			return nil, err
+		}
+		newAlg = func() routing.Algorithm { return routing.MustNew(cfg.Algorithm) }
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Simulation{
+		cfg:     cfg,
+		rng:     rng,
+		met:     &metrics{},
+		latency: map[flit.Class]*stats.Summary{},
+		hist:    stats.NewHistogram(4096),
+	}
+	s.net = network.New(network.Config{
+		Mesh:          cfg.Mesh(),
+		VCs:           cfg.VCs,
+		BufDepth:      cfg.BufDepth,
+		Speedup:       cfg.Speedup,
+		NewAlg:        newAlg,
+		Rand:          rng,
+		Metrics:       s.met,
+		StickyRouting: cfg.StickyRouting,
+		SlowEndpoints: cfg.SlowEndpoints,
+	})
+	s.net.Sink = s.onEject
+	mesh := cfg.Mesh()
+	for _, g := range gens {
+		g.Init(mesh, rng)
+		s.gens = append(s.gens, g)
+		if obs, ok := g.(EjectObserver); ok {
+			s.observers = append(s.observers, obs)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed-config tools.
+func MustNew(cfg Config, gens ...Injector) *Simulation {
+	s, err := New(cfg, gens...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Network exposes the underlying fabric for analyzers.
+func (s *Simulation) Network() *network.Network { return s.net }
+
+// onEject collects statistics for packets completing at their destination.
+func (s *Simulation) onEject(p *flit.Packet) {
+	if s.measuring && p.Born >= s.measStart && p.Born < s.measEnd {
+		s.measuredEjected++
+		sum, ok := s.latency[p.Class]
+		if !ok {
+			sum = &stats.Summary{}
+			s.latency[p.Class] = sum
+		}
+		sum.Add(float64(p.Latency()))
+		if p.Class == flit.ClassBackground {
+			s.hist.Add(p.Latency())
+		}
+	}
+	if s.measuring && s.net.Now() >= s.measStart && s.net.Now() < s.measEnd {
+		s.ejectedFlits += int64(p.Size)
+	}
+	for _, obs := range s.observers {
+		obs.OnEject(p)
+	}
+	if s.PacketHook != nil {
+		s.PacketHook(p)
+	}
+}
+
+// Step advances the simulation one cycle — traffic generation followed by
+// one fabric cycle — without any measurement phase bookkeeping. Analyzers
+// that sample network state (e.g. congestion trees) drive the simulation
+// with it.
+func (s *Simulation) Step() { s.step() }
+
+// step advances one cycle, generating traffic first.
+func (s *Simulation) step() {
+	now := s.net.Now()
+	inWindow := s.measuring && now >= s.measStart && now < s.measEnd
+	if inWindow && now%samplePeriod == 0 {
+		s.met.sample(s.net)
+	}
+	for _, g := range s.gens {
+		g.Tick(now, func(p *flit.Packet) {
+			s.nextID++
+			p.ID = s.nextID
+			if inWindow {
+				s.measured++
+				s.offeredFlits += int64(p.Size)
+			}
+			s.net.Offer(p)
+		})
+	}
+	s.net.Step()
+}
+
+// Run executes warmup, measurement and drain, returning the aggregated
+// result.
+func (s *Simulation) Run() *Result {
+	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
+		s.step()
+	}
+	s.met.reset()
+	s.met.enabled = true
+	s.measuring = true
+	s.measStart = s.net.Now()
+	s.measEnd = s.measStart + s.cfg.MeasureCycles
+	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
+		s.step()
+	}
+	s.met.enabled = false
+	// Drain: keep the offered load flowing so the backpressure seen by
+	// measured packets persists, until every measured packet has ejected
+	// or the drain budget runs out.
+	for i := int64(0); i < s.cfg.DrainCycles && s.measuredEjected < s.measured; i++ {
+		s.step()
+	}
+	s.measuring = false
+
+	nodes := float64(s.cfg.Mesh().Nodes())
+	cycles := float64(s.cfg.MeasureCycles)
+	res := &Result{
+		Config:          s.cfg,
+		Offered:         float64(s.offeredFlits) / nodes / cycles,
+		Accepted:        float64(s.ejectedFlits) / nodes / cycles,
+		Latency:         s.latency,
+		P99:             s.hist.Quantile(0.99),
+		Measured:        s.measured,
+		MeasuredEjected: s.measuredEjected,
+		Stable:          s.measuredEjected >= s.measured,
+		Purity:          s.met.purity(),
+		BlockEvents:     s.met.blockEvents,
+		BufferPurity:    s.met.bufferPurity(),
+	}
+	if s.measured > 0 {
+		res.HoLDegree = s.met.holDegree() / float64(s.measured) * 1000
+	}
+	return res
+}
+
+// String renders a result as a one-line report.
+func (r *Result) String() string {
+	return fmt.Sprintf("alg=%s offered=%.3f accepted=%.3f lat=%.1f p99=%.0f stable=%v",
+		r.Config.Algorithm, r.Offered, r.Accepted, r.AvgLatency(flit.ClassBackground), r.P99, r.Stable)
+}

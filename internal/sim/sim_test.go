@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/traffic"
+)
+
+// testConfig returns a fast configuration for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.VCs = 4
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 1000
+	cfg.DrainCycles = 5000
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.Height = -1 },
+		func(c *Config) { c.VCs = 0 },
+		func(c *Config) { c.BufDepth = 0 },
+		func(c *Config) { c.Speedup = 0 },
+		func(c *Config) { c.Algorithm = "" },
+		func(c *Config) { c.MeasureCycles = 0 },
+		func(c *Config) { c.WarmupCycles = -1 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestNewRejectsUnknownAlgorithm(t *testing.T) {
+	cfg := testConfig()
+	cfg.Algorithm = "bogus"
+	if _, err := New(cfg); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+func TestLowLoadAccounting(t *testing.T) {
+	cfg := testConfig()
+	res, err := runLoad(cfg, "uniform", traffic.FixedSize(1), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("low load must be stable")
+	}
+	if res.Offered < 0.07 || res.Offered > 0.13 {
+		t.Errorf("offered = %v, want ~0.1", res.Offered)
+	}
+	// At low load accepted tracks offered.
+	if res.Accepted < 0.8*res.Offered {
+		t.Errorf("accepted %v far below offered %v", res.Accepted, res.Offered)
+	}
+	if res.MeasuredEjected != res.Measured {
+		t.Errorf("ejected %d of %d measured", res.MeasuredEjected, res.Measured)
+	}
+	lat := res.AvgLatency(flit.ClassBackground)
+	if lat < 3 || lat > 30 {
+		t.Errorf("zero-ish-load latency %v implausible on 4x4", lat)
+	}
+	if res.P99 < lat {
+		t.Errorf("p99 %v below mean %v", res.P99, lat)
+	}
+	if res.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	cfg := testConfig()
+	low, err := runLoad(cfg, "uniform", traffic.FixedSize(1), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := runLoad(cfg, "uniform", traffic.FixedSize(1), 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.AvgLatency(flit.ClassBackground) <= low.AvgLatency(flit.ClassBackground) {
+		t.Errorf("latency did not grow with load: %v -> %v",
+			low.AvgLatency(flit.ClassBackground), high.AvgLatency(flit.ClassBackground))
+	}
+}
+
+func TestOverloadDetected(t *testing.T) {
+	cfg := testConfig()
+	cfg.DrainCycles = 2000
+	// Bit-complement sends every flit across the bisection: a 4x4 mesh
+	// has 4 bisection links per direction shared by 8 sources, so the
+	// capacity bound is 0.5 flits/node/cycle and rate 0.95 must saturate.
+	res, err := runLoad(cfg, "bitcomp", traffic.FixedSize(1), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := DefaultCriterion()
+	if !crit.Saturated(res, 10) {
+		t.Errorf("rate 0.95 bitcomp should saturate a 4x4 mesh: %v", res)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := testConfig()
+	a, err := runLoad(cfg, "uniform", traffic.FixedSize(1), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runLoad(cfg, "uniform", traffic.FixedSize(1), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgLatency(flit.ClassBackground) != b.AvgLatency(flit.ClassBackground) ||
+		a.Accepted != b.Accepted || a.Measured != b.Measured {
+		t.Errorf("same seed, different results:\n%v\n%v", a, b)
+	}
+	cfg.Seed = 2
+	c, err := runLoad(cfg, "uniform", traffic.FixedSize(1), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Measured == c.Measured && a.AvgLatency(flit.ClassBackground) == c.AvgLatency(flit.ClassBackground) {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestLatencyThroughputCurve(t *testing.T) {
+	cfg := testConfig()
+	pts, err := LatencyThroughput(cfg, "uniform", traffic.FixedSize(1), []float64{0.05, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Rate != 0.05 || pts[1].Rate != 0.2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[1].Result.AvgLatency(flit.ClassBackground) < pts[0].Result.AvgLatency(flit.ClassBackground) {
+		t.Error("curve not monotone at these loads")
+	}
+}
+
+func TestSaturationCriterion(t *testing.T) {
+	crit := DefaultCriterion()
+	// Unstable is always saturated.
+	r := &Result{Stable: false}
+	if !crit.Saturated(r, 10) {
+		t.Error("unstable must be saturated")
+	}
+	// Throughput collapse.
+	r = &Result{Stable: true, Offered: 0.5, Accepted: 0.4}
+	if !crit.Saturated(r, 1e9) {
+		t.Error("accepted << offered must be saturated")
+	}
+	// Healthy point.
+	r = &Result{Stable: true, Offered: 0.2, Accepted: 0.2}
+	if crit.Saturated(r, 10) {
+		t.Error("healthy point misclassified")
+	}
+}
+
+func TestSaturationThroughputSearch(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 300, 600, 2000
+	sr, err := SaturationThroughput(cfg, "uniform", traffic.FixedSize(1), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Throughput < 0.1 || sr.Throughput > 0.9 {
+		t.Errorf("4x4 uniform saturation throughput %v implausible", sr.Throughput)
+	}
+	if sr.ZeroLoadLatency <= 0 {
+		t.Error("no zero-load latency")
+	}
+	if sr.Evaluations < 3 {
+		t.Errorf("bisection did too little work: %d evals", sr.Evaluations)
+	}
+}
+
+func TestSaturationThroughputBadTolerance(t *testing.T) {
+	if _, err := SaturationThroughput(testConfig(), "uniform", traffic.FixedSize(1), 0); err == nil {
+		t.Error("want error for zero tolerance")
+	}
+}
+
+// TestSlowEndpointCreatesEndpointCongestion models Section 2's second
+// endpoint-congestion source: an endpoint whose ejection rate is half the
+// port bandwidth saturates under load a normal endpoint absorbs.
+func TestSlowEndpointCreatesEndpointCongestion(t *testing.T) {
+	base := testConfig()
+	run := func(slow map[int]int) *Result {
+		cfg := base
+		cfg.SlowEndpoints = slow
+		gen := &traffic.Generator{
+			Nodes:   []int{4, 12},
+			Pattern: traffic.Permutation{Flows: map[int]int{4: 13, 12: 13}},
+			Rate:    0.35,
+		}
+		s := MustNew(cfg, gen)
+		return s.Run()
+	}
+	fast := run(nil)
+	slow := run(map[int]int{13: 2}) // node 13 drains every other cycle
+	if !fast.Stable {
+		t.Fatal("baseline should sustain 0.7 flits/cycle at the endpoint")
+	}
+	// 2 flows x 0.35 = 0.7 flits/cycle > 0.5 ejection rate: must saturate.
+	crit := DefaultCriterion()
+	if !crit.Saturated(slow, fast.AvgLatency(flit.ClassBackground)) {
+		t.Errorf("slow endpoint did not congest: %v", slow)
+	}
+}
+
+// TestStickyRoutingRuns exercises the StickyRouting configuration end to
+// end (the DESIGN.md matrix shows it degrades throughput; here we only
+// require correct, deadlock-free operation).
+func TestStickyRoutingRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.StickyRouting = true
+	res, err := runLoad(cfg, "uniform", traffic.FixedSize(1), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Error("sticky routing unstable at light load")
+	}
+	if res.MeasuredEjected != res.Measured {
+		t.Errorf("lost packets under sticky routing: %d/%d", res.MeasuredEjected, res.Measured)
+	}
+}

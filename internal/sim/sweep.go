@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/traffic"
+)
+
+// SweepPoint is one injection rate of a latency-throughput curve.
+type SweepPoint struct {
+	Rate   float64
+	Result *Result
+}
+
+// LatencyThroughput produces one latency-throughput curve (the building
+// block of Figures 5, 6 and 7): cfg is run once per rate with the named
+// synthetic pattern and packet-size distribution.
+func LatencyThroughput(cfg Config, pattern string, size traffic.SizeFn, rates []float64) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(rates))
+	for _, rate := range rates {
+		res, err := runLoad(cfg, pattern, size, rate)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{Rate: rate, Result: res})
+	}
+	return points, nil
+}
+
+// runLoad runs one simulation at the given uniform-pattern-family load.
+func runLoad(cfg Config, pattern string, size traffic.SizeFn, rate float64) (*Result, error) {
+	p, err := traffic.ByName(pattern, cfg.Mesh())
+	if err != nil {
+		return nil, err
+	}
+	gen := &traffic.Generator{Pattern: p, Rate: rate, Size: size}
+	s, err := New(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// SaturationCriterion decides whether a run is saturated given the
+// zero-load latency reference.
+type SaturationCriterion struct {
+	// LatencyFactor: saturated when mean latency exceeds this multiple
+	// of the zero-load latency (default 3).
+	LatencyFactor float64
+	// AcceptRatio: saturated when accepted/offered drops below this
+	// (default 0.95).
+	AcceptRatio float64
+}
+
+// DefaultCriterion returns the thresholds used throughout the repository.
+func DefaultCriterion() SaturationCriterion {
+	return SaturationCriterion{LatencyFactor: 3, AcceptRatio: 0.95}
+}
+
+// Saturated applies the criterion.
+func (c SaturationCriterion) Saturated(res *Result, zeroLoadLatency float64) bool {
+	if !res.Stable {
+		return true
+	}
+	if res.Offered > 0 && res.Accepted < c.AcceptRatio*res.Offered {
+		return true
+	}
+	return res.AvgLatency(flit.ClassBackground) > c.LatencyFactor*zeroLoadLatency
+}
+
+// SaturationResult reports a saturation-throughput search.
+type SaturationResult struct {
+	// Throughput is the highest stable offered load found, in
+	// flits/node/cycle.
+	Throughput float64
+	// ZeroLoadLatency is the latency reference measured at low load.
+	ZeroLoadLatency float64
+	// Evaluations counts simulation runs performed.
+	Evaluations int
+}
+
+// probeRate is the low load used to establish the zero-load latency.
+const probeRate = 0.05
+
+// SaturationThroughput bisects for the network saturation throughput of
+// cfg under the named pattern: the largest offered load that stays stable
+// under the default criterion, resolved to within tol flits/node/cycle
+// (the figures use 0.01).
+func SaturationThroughput(cfg Config, pattern string, size traffic.SizeFn, tol float64) (*SaturationResult, error) {
+	if tol <= 0 {
+		return nil, fmt.Errorf("sim: tolerance must be positive")
+	}
+	crit := DefaultCriterion()
+	sr := &SaturationResult{}
+
+	probe, err := runLoad(cfg, pattern, size, probeRate)
+	if err != nil {
+		return nil, err
+	}
+	sr.Evaluations++
+	sr.ZeroLoadLatency = probe.AvgLatency(flit.ClassBackground)
+	if crit.Saturated(probe, sr.ZeroLoadLatency) {
+		// Even the probe load saturates (cannot happen in practice for
+		// the evaluated configurations; be defensive).
+		sr.Throughput = 0
+		return sr, nil
+	}
+
+	lo, hi := probeRate, 1.0
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		res, err := runLoad(cfg, pattern, size, mid)
+		if err != nil {
+			return nil, err
+		}
+		sr.Evaluations++
+		if crit.Saturated(res, sr.ZeroLoadLatency) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	sr.Throughput = lo
+	return sr, nil
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"nocsim/internal/network"
+	"nocsim/internal/topo"
+)
+
+// LinkLoad is one directed link's utilization over an observation window.
+type LinkLoad struct {
+	From, To    int
+	Dir         topo.Direction
+	Utilization float64 // flits per cycle, 0..1
+}
+
+// UtilizationSnapshot captures per-link utilization of the fabric.
+type UtilizationSnapshot struct {
+	Links  []LinkLoad
+	Cycles int64
+}
+
+// UtilizationProbe measures link utilization between two observation
+// points.
+type UtilizationProbe struct {
+	net   *network.Network
+	start int64
+	base  map[[2]int]int64 // (node, dir) -> flit count at Start
+}
+
+// NewUtilizationProbe starts observing net.
+func NewUtilizationProbe(net *network.Network) *UtilizationProbe {
+	p := &UtilizationProbe{net: net, start: net.Now(), base: map[[2]int]int64{}}
+	for id := 0; id < net.Nodes(); id++ {
+		r := net.Router(id)
+		for d := topo.East; d <= topo.Local; d++ {
+			p.base[[2]int{id, int(d)}] = r.OutputFlits(d)
+		}
+	}
+	return p
+}
+
+// Snapshot returns the utilization of every inter-router link since the
+// probe was created.
+func (p *UtilizationProbe) Snapshot(m topo.Mesh) UtilizationSnapshot {
+	cycles := p.net.Now() - p.start
+	snap := UtilizationSnapshot{Cycles: cycles}
+	if cycles <= 0 {
+		return snap
+	}
+	for id := 0; id < p.net.Nodes(); id++ {
+		r := p.net.Router(id)
+		for d := topo.East; d <= topo.South; d++ {
+			to, ok := m.Neighbor(id, d)
+			if !ok {
+				continue
+			}
+			sent := r.OutputFlits(d) - p.base[[2]int{id, int(d)}]
+			snap.Links = append(snap.Links, LinkLoad{
+				From: id, To: to, Dir: d,
+				Utilization: float64(sent) / float64(cycles),
+			})
+		}
+	}
+	return snap
+}
+
+// Hottest returns the n most utilized links, most loaded first.
+func (s UtilizationSnapshot) Hottest(n int) []LinkLoad {
+	links := make([]LinkLoad, len(s.Links))
+	copy(links, s.Links)
+	// Insertion sort by utilization descending; link counts are small.
+	for i := 1; i < len(links); i++ {
+		for j := i; j > 0 && links[j].Utilization > links[j-1].Utilization; j-- {
+			links[j], links[j-1] = links[j-1], links[j]
+		}
+	}
+	if n > len(links) {
+		n = len(links)
+	}
+	return links[:n]
+}
+
+// Mean returns the average utilization over all links.
+func (s UtilizationSnapshot) Mean() float64 {
+	if len(s.Links) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range s.Links {
+		sum += l.Utilization
+	}
+	return sum / float64(len(s.Links))
+}
+
+// heatRunes maps utilization deciles to ASCII shades.
+var heatRunes = []byte(" .:-=+*#%@")
+
+func heatRune(u float64) byte {
+	i := int(u * float64(len(heatRunes)))
+	if i >= len(heatRunes) {
+		i = len(heatRunes) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return heatRunes[i]
+}
+
+// Heatmap renders per-node egress load (the mean utilization of a node's
+// outgoing links) as an ASCII grid — a quick visual of where congestion
+// sits on the mesh.
+func (s UtilizationSnapshot) Heatmap(m topo.Mesh) string {
+	load := make([]float64, m.Nodes())
+	cnt := make([]int, m.Nodes())
+	for _, l := range s.Links {
+		load[l.From] += l.Utilization
+		cnt[l.From]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "egress load heatmap (%s = 0%% ... %s = 100%%)\n",
+		string(heatRunes[0:1]), string(heatRunes[len(heatRunes)-1:]))
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			n := m.Node(topo.Coord{X: x, Y: y})
+			u := 0.0
+			if cnt[n] > 0 {
+				u = load[n] / float64(cnt[n])
+			}
+			b.WriteByte(heatRune(u))
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

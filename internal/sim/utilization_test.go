@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"nocsim/internal/topo"
+	"nocsim/internal/traffic"
+)
+
+func TestUtilizationProbe(t *testing.T) {
+	cfg := testConfig()
+	gen := &traffic.Generator{Pattern: traffic.Uniform{Nodes: 16}, Rate: 0.25}
+	s := MustNew(cfg, gen)
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	probe := NewUtilizationProbe(s.Network())
+	for i := 0; i < 500; i++ {
+		s.Step()
+	}
+	snap := probe.Snapshot(cfg.Mesh())
+	if snap.Cycles != 500 {
+		t.Errorf("cycles = %d", snap.Cycles)
+	}
+	// 4x4 mesh: 2*(3*4)*2 = 48 directed inter-router links.
+	if len(snap.Links) != 48 {
+		t.Fatalf("links = %d, want 48", len(snap.Links))
+	}
+	mean := snap.Mean()
+	if mean <= 0 || mean >= 1 {
+		t.Errorf("mean utilization = %v", mean)
+	}
+	for _, l := range snap.Links {
+		if l.Utilization < 0 || l.Utilization > 1 {
+			t.Errorf("link %d->%d utilization %v out of range", l.From, l.To, l.Utilization)
+		}
+	}
+	hot := snap.Hottest(5)
+	if len(hot) != 5 {
+		t.Fatalf("hottest = %d", len(hot))
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Utilization > hot[i-1].Utilization {
+			t.Error("hottest not sorted")
+		}
+	}
+}
+
+func TestUtilizationZeroWindow(t *testing.T) {
+	cfg := testConfig()
+	s := MustNew(cfg)
+	probe := NewUtilizationProbe(s.Network())
+	snap := probe.Snapshot(cfg.Mesh())
+	if len(snap.Links) != 0 || snap.Mean() != 0 {
+		t.Error("zero-window snapshot should be empty")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	cfg := testConfig()
+	// Persistent flow 0 -> 3 along the top row lights up that row.
+	gen := &traffic.Generator{
+		Nodes:   []int{0},
+		Pattern: traffic.Permutation{Flows: map[int]int{0: 3}},
+		Rate:    1.0,
+	}
+	s := MustNew(cfg, gen)
+	probe := NewUtilizationProbe(s.Network())
+	for i := 0; i < 400; i++ {
+		s.Step()
+	}
+	m := topo.MustNew(4, 4)
+	out := probe.Snapshot(m).Heatmap(m)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("heatmap lines = %d:\n%s", len(lines), out)
+	}
+	// The top row (through which the flow runs) must be hotter than the
+	// bottom row (idle).
+	if lines[1] == lines[4] {
+		t.Errorf("flow row should differ from idle row:\n%s", out)
+	}
+	if strings.TrimSpace(lines[4]) != "" {
+		t.Errorf("idle row should be blank:\n%s", out)
+	}
+}
+
+func TestHeatRuneBounds(t *testing.T) {
+	if heatRune(-0.5) != heatRunes[0] {
+		t.Error("negative utilization not clamped")
+	}
+	if heatRune(2.0) != heatRunes[len(heatRunes)-1] {
+		t.Error("overload not clamped")
+	}
+}

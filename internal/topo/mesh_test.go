@@ -1,0 +1,218 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{0, 4}, {4, 0}, {-1, 4}, {4, -1}, {0, 0}} {
+		if _, err := New(tc.w, tc.h); err == nil {
+			t.Errorf("New(%d,%d): want error", tc.w, tc.h)
+		}
+	}
+	m, err := New(8, 8)
+	if err != nil {
+		t.Fatalf("New(8,8): %v", err)
+	}
+	if m.Nodes() != 64 {
+		t.Errorf("Nodes() = %d, want 64", m.Nodes())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0,0) did not panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestCoordNodeRoundTrip(t *testing.T) {
+	m := MustNew(5, 3)
+	for n := 0; n < m.Nodes(); n++ {
+		if got := m.Node(m.Coord(n)); got != n {
+			t.Errorf("Node(Coord(%d)) = %d", n, got)
+		}
+	}
+}
+
+func TestCoordRowMajor(t *testing.T) {
+	m := MustNew(4, 4)
+	// Paper numbering: n1 is (1,0), n4 is (0,1), n13 is (1,3).
+	cases := []struct {
+		node int
+		want Coord
+	}{{0, Coord{0, 0}}, {1, Coord{1, 0}}, {4, Coord{0, 1}}, {13, Coord{1, 3}}, {15, Coord{3, 3}}}
+	for _, tc := range cases {
+		if got := m.Coord(tc.node); got != tc.want {
+			t.Errorf("Coord(%d) = %v, want %v", tc.node, got, tc.want)
+		}
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	m := MustNew(4, 4)
+	cases := []struct {
+		node int
+		dir  Direction
+		want int
+		ok   bool
+	}{
+		{5, East, 6, true},
+		{5, West, 4, true},
+		{5, North, 1, true},
+		{5, South, 9, true},
+		{0, West, -1, false},
+		{0, North, -1, false},
+		{3, East, -1, false},
+		{15, South, -1, false},
+		{5, Local, -1, false},
+	}
+	for _, tc := range cases {
+		got, ok := m.Neighbor(tc.node, tc.dir)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("Neighbor(%d,%v) = (%d,%v), want (%d,%v)", tc.node, tc.dir, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	pairs := [][2]Direction{{East, West}, {North, South}}
+	for _, p := range pairs {
+		if p[0].Opposite() != p[1] || p[1].Opposite() != p[0] {
+			t.Errorf("Opposite broken for %v/%v", p[0], p[1])
+		}
+	}
+	if Local.Opposite() != Local {
+		t.Error("Local.Opposite() != Local")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	want := map[Direction]string{East: "E", West: "W", North: "N", South: "S", Local: "L"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+	if Direction(99).String() != "Direction(99)" {
+		t.Errorf("unknown direction String() = %q", Direction(99).String())
+	}
+}
+
+func TestMinimalDirs(t *testing.T) {
+	m := MustNew(4, 4)
+	// 5 = (1,1). 10 = (2,2): need East and South.
+	dx, hasX, dy, hasY := m.MinimalDirs(5, 10)
+	if !hasX || dx != East || !hasY || dy != South {
+		t.Errorf("MinimalDirs(5,10) = %v,%v,%v,%v", dx, hasX, dy, hasY)
+	}
+	// 5 -> 4: West only.
+	dx, hasX, _, hasY = m.MinimalDirs(5, 4)
+	if !hasX || dx != West || hasY {
+		t.Errorf("MinimalDirs(5,4) = %v,%v hasY=%v", dx, hasX, hasY)
+	}
+	// 5 -> 1: North only.
+	_, hasX, dy, hasY = m.MinimalDirs(5, 1)
+	if hasX || !hasY || dy != North {
+		t.Errorf("MinimalDirs(5,1) hasX=%v dy=%v hasY=%v", hasX, dy, hasY)
+	}
+	// Same node: nothing.
+	_, hasX, _, hasY = m.MinimalDirs(5, 5)
+	if hasX || hasY {
+		t.Error("MinimalDirs(5,5) should have no productive directions")
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := MustNew(8, 8)
+	if got := m.Hops(0, 63); got != 14 {
+		t.Errorf("Hops(0,63) = %d, want 14", got)
+	}
+	if got := m.Hops(9, 9); got != 0 {
+		t.Errorf("Hops(9,9) = %d, want 0", got)
+	}
+}
+
+func TestMinimalPathCount(t *testing.T) {
+	m := MustNew(8, 8)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 1},   // zero hops: one (empty) path
+		{0, 1, 1},   // straight line
+		{0, 9, 2},   // 1x1 rectangle
+		{0, 18, 6},  // 2x2 -> C(4,2)
+		{0, 27, 20}, // 3x3 -> C(6,3)
+	}
+	for _, tc := range cases {
+		if got := m.MinimalPathCount(tc.a, tc.b); got != tc.want {
+			t.Errorf("MinimalPathCount(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: walking from any node in the productive directions always
+// reaches the destination in exactly Hops(a,b) steps.
+func TestMinimalDirsReachDestination(t *testing.T) {
+	m := MustNew(6, 7)
+	f := func(a, b uint8) bool {
+		src := int(a) % m.Nodes()
+		dst := int(b) % m.Nodes()
+		cur, steps := src, 0
+		for cur != dst {
+			dx, hasX, dy, hasY := m.MinimalDirs(cur, dst)
+			var d Direction
+			switch {
+			case hasX:
+				d = dx
+			case hasY:
+				d = dy
+			default:
+				return false
+			}
+			next, ok := m.Neighbor(cur, d)
+			if !ok {
+				return false
+			}
+			cur = next
+			steps++
+			if steps > m.Nodes() {
+				return false
+			}
+		}
+		return steps == m.Hops(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Neighbor is symmetric: if b is a's neighbour toward d then a is
+// b's neighbour toward d.Opposite().
+func TestNeighborSymmetry(t *testing.T) {
+	m := MustNew(5, 4)
+	for n := 0; n < m.Nodes(); n++ {
+		for d := East; d <= South; d++ {
+			nb, ok := m.Neighbor(n, d)
+			if !ok {
+				continue
+			}
+			back, ok2 := m.Neighbor(nb, d.Opposite())
+			if !ok2 || back != n {
+				t.Errorf("Neighbor symmetry broken at %d dir %v", n, d)
+			}
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {14, 7, 3432}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, tc := range cases {
+		if got := binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}

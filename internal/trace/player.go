@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/topo"
+)
+
+// Player injects a trace into a simulation, honouring record cycles and
+// dependencies: a record with Dep only becomes eligible after the record
+// it depends on has been delivered. It implements sim.Injector and
+// sim.EjectObserver.
+type Player struct {
+	records []Record
+	next    int // first un-injected record index
+
+	waiting   map[uint64][]Record // dep ID -> records blocked on it
+	delivered map[uint64]bool
+	ready     []Record // dependency-satisfied, cycle-due records
+
+	inflight map[*flit.Packet]uint64 // packet -> record ID
+
+	// Done counts delivered trace packets; Total is the trace size.
+	Done, Total int
+}
+
+// NewPlayer returns a player for records, which must be Validate-clean.
+func NewPlayer(records []Record) *Player {
+	return &Player{
+		records:   records,
+		waiting:   map[uint64][]Record{},
+		delivered: map[uint64]bool{},
+		inflight:  map[*flit.Packet]uint64{},
+		Total:     len(records),
+	}
+}
+
+// Init implements sim.Injector.
+func (p *Player) Init(m topo.Mesh, _ *rand.Rand) {
+	if err := Validate(p.records, m.Nodes()); err != nil {
+		panic(fmt.Sprintf("trace: invalid trace for %dx%d mesh: %v", m.Width, m.Height, err))
+	}
+}
+
+// Tick implements sim.Injector: offer every due, dependency-free record.
+func (p *Player) Tick(now int64, offer func(*flit.Packet)) {
+	for p.next < len(p.records) && p.records[p.next].Cycle <= now {
+		r := p.records[p.next]
+		p.next++
+		if r.Dep != 0 && !p.delivered[r.Dep] {
+			p.waiting[r.Dep] = append(p.waiting[r.Dep], r)
+			continue
+		}
+		p.ready = append(p.ready, r)
+	}
+	for _, r := range p.ready {
+		pkt := &flit.Packet{
+			ID:   r.ID,
+			Src:  r.Src,
+			Dest: r.Dest,
+			Size: r.Size,
+			Born: now,
+		}
+		p.inflight[pkt] = r.ID
+		offer(pkt)
+	}
+	p.ready = p.ready[:0]
+}
+
+// OnEject implements sim.EjectObserver: release dependents of the
+// delivered record.
+func (p *Player) OnEject(pkt *flit.Packet) {
+	id, ok := p.inflight[pkt]
+	if !ok {
+		return // another injector's packet
+	}
+	delete(p.inflight, pkt)
+	p.delivered[id] = true
+	p.Done++
+	if deps := p.waiting[id]; len(deps) != 0 {
+		p.ready = append(p.ready, deps...)
+		delete(p.waiting, id)
+	}
+}
+
+// Finished reports whether every record has been injected and delivered.
+func (p *Player) Finished() bool {
+	return p.next == len(p.records) && p.Done == p.Total &&
+		len(p.waiting) == 0 && len(p.ready) == 0
+}

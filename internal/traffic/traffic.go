@@ -1,0 +1,229 @@
+// Package traffic generates the synthetic workloads of the paper's
+// evaluation: uniform random, transpose, shuffle and bit-complement
+// patterns, explicit permutation flows, and the hotspot configuration of
+// Table 3 with uniform background traffic.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/topo"
+)
+
+// Pattern maps a source node to the destination of its next packet.
+type Pattern interface {
+	// Name identifies the pattern, e.g. "uniform".
+	Name() string
+	// Dest returns the destination for a packet from src, or ok=false
+	// when src does not generate traffic under this pattern (e.g. the
+	// diagonal of a transpose).
+	Dest(src int, rng *rand.Rand) (dest int, ok bool)
+}
+
+// Uniform sends every packet to a destination drawn uniformly from all
+// other nodes.
+type Uniform struct{ Nodes int }
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, rng *rand.Rand) (int, bool) {
+	if u.Nodes < 2 {
+		return 0, false
+	}
+	d := rng.Intn(u.Nodes - 1)
+	if d >= src {
+		d++
+	}
+	return d, true
+}
+
+// Transpose sends (x, y) to (y, x); diagonal nodes are silent. The mesh
+// must be square.
+type Transpose struct{ Mesh topo.Mesh }
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src int, _ *rand.Rand) (int, bool) {
+	if t.Mesh.Width != t.Mesh.Height {
+		panic("traffic: transpose requires a square mesh")
+	}
+	c := t.Mesh.Coord(src)
+	d := t.Mesh.Node(topo.Coord{X: c.Y, Y: c.X})
+	if d == src {
+		return 0, false
+	}
+	return d, true
+}
+
+// Shuffle rotates the node address left by one bit: dest = (2*src +
+// 2*src/N) mod N. The node count must be a power of two.
+type Shuffle struct{ Nodes int }
+
+// Name implements Pattern.
+func (Shuffle) Name() string { return "shuffle" }
+
+// Dest implements Pattern.
+func (s Shuffle) Dest(src int, _ *rand.Rand) (int, bool) {
+	if s.Nodes&(s.Nodes-1) != 0 {
+		panic("traffic: shuffle requires a power-of-two node count")
+	}
+	d := (2*src + 2*src/s.Nodes) % s.Nodes
+	if d == src {
+		return 0, false
+	}
+	return d, true
+}
+
+// BitComplement sends node i to node N-1-i.
+type BitComplement struct{ Nodes int }
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bitcomp" }
+
+// Dest implements Pattern.
+func (b BitComplement) Dest(src int, _ *rand.Rand) (int, bool) {
+	d := b.Nodes - 1 - src
+	if d == src {
+		return 0, false
+	}
+	return d, true
+}
+
+// Permutation sends each listed source to its fixed destination; other
+// nodes are silent.
+type Permutation struct {
+	Label string
+	Flows map[int]int
+}
+
+// Name implements Pattern.
+func (p Permutation) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "permutation"
+}
+
+// Dest implements Pattern.
+func (p Permutation) Dest(src int, _ *rand.Rand) (int, bool) {
+	d, ok := p.Flows[src]
+	return d, ok
+}
+
+// ByName constructs one of the named standard patterns for mesh m.
+func ByName(name string, m topo.Mesh) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform{Nodes: m.Nodes()}, nil
+	case "transpose":
+		return Transpose{Mesh: m}, nil
+	case "shuffle":
+		return Shuffle{Nodes: m.Nodes()}, nil
+	case "bitcomp":
+		return BitComplement{Nodes: m.Nodes()}, nil
+	case "tornado":
+		return Tornado{Mesh: m}, nil
+	case "bitrev":
+		return BitReverse{Nodes: m.Nodes()}, nil
+	case "neighbor":
+		return Neighbor{Mesh: m}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// SizeFn draws a packet size in flits.
+type SizeFn func(rng *rand.Rand) int
+
+// FixedSize returns a SizeFn for constant n-flit packets.
+func FixedSize(n int) SizeFn {
+	if n < 1 {
+		panic("traffic: packet size must be >= 1")
+	}
+	return func(*rand.Rand) int { return n }
+}
+
+// UniformSize returns a SizeFn drawing sizes uniformly from [lo, hi]; the
+// paper's variable-size evaluation uses 1..6 flits.
+func UniformSize(lo, hi int) SizeFn {
+	if lo < 1 || hi < lo {
+		panic("traffic: invalid size range")
+	}
+	return func(rng *rand.Rand) int { return lo + rng.Intn(hi-lo+1) }
+}
+
+// MeanSize estimates the expectation of a SizeFn by sampling; generators
+// use it to convert a flit injection rate into a packet probability.
+func MeanSize(f SizeFn, rng *rand.Rand) float64 {
+	const samples = 4096
+	sum := 0
+	for i := 0; i < samples; i++ {
+		sum += f(rng)
+	}
+	return float64(sum) / samples
+}
+
+// Generator injects Bernoulli traffic: each source node independently
+// generates a packet with probability Rate/mean(Size) per cycle, so the
+// offered load equals Rate flits per node per cycle.
+type Generator struct {
+	// Nodes are the source nodes; nil means every node of the mesh.
+	Nodes   []int
+	Pattern Pattern
+	// Rate is the offered load in flits per source node per cycle.
+	Rate  float64
+	Size  SizeFn
+	Class flit.Class
+
+	prob   float64
+	nextID uint64
+	rng    *rand.Rand
+}
+
+// Init prepares the generator for mesh m using rng for all randomness.
+// It must be called once before Tick.
+func (g *Generator) Init(m topo.Mesh, rng *rand.Rand) {
+	if g.Size == nil {
+		g.Size = FixedSize(1)
+	}
+	if g.Nodes == nil {
+		g.Nodes = make([]int, m.Nodes())
+		for i := range g.Nodes {
+			g.Nodes[i] = i
+		}
+	}
+	g.rng = rng
+	g.prob = g.Rate / MeanSize(g.Size, rng)
+	if g.prob > 1 {
+		g.prob = 1
+	}
+}
+
+// Tick generates this cycle's packets, passing each to offer with Born set
+// to now.
+func (g *Generator) Tick(now int64, offer func(*flit.Packet)) {
+	for _, src := range g.Nodes {
+		if g.rng.Float64() >= g.prob {
+			continue
+		}
+		dest, ok := g.Pattern.Dest(src, g.rng)
+		if !ok {
+			continue
+		}
+		g.nextID++
+		offer(&flit.Packet{
+			ID:    g.nextID,
+			Src:   src,
+			Dest:  dest,
+			Size:  g.Size(g.rng),
+			Class: g.Class,
+			Born:  now,
+		})
+	}
+}

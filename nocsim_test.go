@@ -1,0 +1,156 @@
+package nocsim
+
+import "testing"
+
+// quickCfg returns a fast config for facade tests.
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.VCs = 4
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 300, 600, 3000
+	return cfg
+}
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := Run(quickCfg(), "uniform", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Error("low load unstable")
+	}
+	if lat := res.AvgLatency(ClassBackground); lat <= 0 {
+		t.Errorf("latency = %v", lat)
+	}
+}
+
+func TestRunSizedValidates(t *testing.T) {
+	if _, err := Run(quickCfg(), "no-such-pattern", 0.2); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	cfg := quickCfg()
+	cfg.Algorithm = "bogus"
+	if _, err := Run(cfg, "uniform", 0.2); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmsAndPatterns(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) != 10 {
+		t.Errorf("Algorithms() = %v, want 10 entries", algs)
+	}
+	found := false
+	for _, a := range algs {
+		if a == "footprint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("footprint missing")
+	}
+	if len(Patterns()) < 4 {
+		t.Errorf("Patterns() = %v", Patterns())
+	}
+}
+
+func TestLatencyThroughputFacade(t *testing.T) {
+	pts, err := LatencyThroughput(quickCfg(), "uniform", []float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Width, cfg.Height = 8, 8
+	recs, err := GeneratePARSEC(cfg, "dedup", 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	recs2, err := GeneratePARSEC(cfg, "x264", 1500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeTraces(recs, recs2)
+	if len(merged) != len(recs)+len(recs2) {
+		t.Fatal("merge lost records")
+	}
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1500
+	cfg.DrainCycles = 20000
+	s, err := New(cfg, NewTracePlayer(merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if !res.Stable {
+		t.Error("light trace pair did not drain")
+	}
+	if res.MeasuredEjected == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+func TestGeneratePARSECUnknown(t *testing.T) {
+	if _, err := GeneratePARSEC(quickCfg(), "crysis", 100, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if len(ParsecWorkloads()) != 8 {
+		t.Errorf("ParsecWorkloads() = %v", ParsecWorkloads())
+	}
+}
+
+func TestAdaptivenessFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	pa, err := PortAdaptiveness(cfg, "footprint", 0, 27)
+	if err != nil || pa != 1.0 {
+		t.Errorf("footprint P_adapt = %v, %v", pa, err)
+	}
+	va, err := VCAdaptiveness("footprint", 10)
+	if err != nil || va != 0.9 {
+		t.Errorf("footprint VC_adapt = %v, %v", va, err)
+	}
+	if _, err := PortAdaptiveness(cfg, "bogus", 0, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := VCAdaptiveness("bogus", 10); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestFootprintCostBits(t *testing.T) {
+	if bits := FootprintCostBits(64, 16); bits != 101 {
+		t.Errorf("cost = %d bits, want 101", bits)
+	}
+}
+
+func TestHotspotFacadeRejectsSmallMesh(t *testing.T) {
+	if _, err := HotspotCurve(quickCfg(), 0.3, []float64{0.1}); err == nil {
+		t.Error("4x4 mesh accepted for Table 3 flows")
+	}
+}
+
+func TestMeshAccessor(t *testing.T) {
+	m := Mesh(DefaultConfig())
+	if m.Nodes() != 64 {
+		t.Errorf("nodes = %d", m.Nodes())
+	}
+}
+
+func TestSaturationFacade(t *testing.T) {
+	cfg := quickCfg()
+	sr, err := SaturationThroughput(cfg, "uniform", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Throughput <= 0 || sr.Throughput > 1 {
+		t.Errorf("saturation = %v", sr.Throughput)
+	}
+}
