@@ -12,6 +12,7 @@ import (
 
 	"nocsim/internal/exp"
 	"nocsim/internal/flit"
+	"nocsim/internal/obs"
 	"nocsim/internal/routing"
 	"nocsim/internal/sim"
 	"nocsim/internal/traffic"
@@ -211,6 +212,30 @@ func BenchmarkSectionCost(b *testing.B) {
 		cs := exp.SectionCost()
 		b.ReportMetric(float64(cs.Rows[2].TotalBitsPerPort), "bits-8x8-16vc")
 	}
+}
+
+// BenchmarkObsOverhead measures the telemetry layer's cost on the
+// Table 2 baseline scenario: the default disabled path (what every
+// experiment pays) versus a run with every collector enabled — lifecycle
+// tracer, 100-cycle counter sampler and link heatmap. CI tracks the
+// cycles/s of both; see TestObsOverheadBudget for the enforced bound.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := benchProfile()
+	run := func(b *testing.B, o obs.Options) {
+		for i := 0; i < b.N; i++ {
+			cfg := p.BaseConfig()
+			cfg.Obs = o
+			res, err := Run(cfg, "uniform", 0.3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Runtime.CyclesPerSec, "cycles/s")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, obs.Options{}) })
+	b.Run("enabled", func(b *testing.B) {
+		run(b, obs.Options{Trace: true, SamplePeriod: 100, Heatmap: true})
+	})
 }
 
 // --- ablations (DESIGN.md) -------------------------------------------------

@@ -7,15 +7,23 @@
 //	nocsim -print-config            # show the Table 2 baseline
 //	nocsim -alg dbar -pattern transpose -rate 0.35
 //	nocsim -width 16 -height 16 -vcs 4 -rate 0.2
+//	nocsim -trace-out trace.json    # Perfetto-loadable lifecycle trace
+//	nocsim -heatmap-out links.csv   # measurement-window link heatmap
+//	nocsim -counters-out ts.csv -sample-period 100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"nocsim/internal/exp"
 	"nocsim/internal/flit"
+	"nocsim/internal/obs"
 	"nocsim/internal/sim"
 	"nocsim/internal/traffic"
 )
@@ -39,11 +47,37 @@ func main() {
 	maxFlits := flag.Int("max-flits", 1, "maximum packet size")
 	printConfig := flag.Bool("print-config", false, "print the configuration (Table 2) and exit")
 	heatmap := flag.Bool("heatmap", false, "print a link-utilization heatmap of the measurement window")
+
+	traceOut := flag.String("trace-out", "", "write a Chrome-trace (Perfetto) packet lifecycle trace to this file")
+	traceJSONL := flag.String("trace-jsonl", "", "write the packet lifecycle trace as JSONL to this file")
+	traceCap := flag.Int("trace-cap", 0, "lifecycle tracer ring capacity in events (0 = default)")
+	countersOut := flag.String("counters-out", "", "write per-router/per-port counter time series as CSV to this file")
+	samplePeriod := flag.Int64("sample-period", 0, "counter sampling period in cycles (0 = off; implied 100 by -counters-out)")
+	heatmapOut := flag.String("heatmap-out", "", "write the measurement-window link heatmap as CSV to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *printConfig {
 		fmt.Print(exp.Table2(cfg))
 		return
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "nocsim: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof              http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	if *countersOut != "" && *samplePeriod <= 0 {
+		*samplePeriod = 100
+	}
+	cfg.Obs = obs.Options{
+		Trace:         *traceOut != "" || *traceJSONL != "",
+		TraceCapacity: *traceCap,
+		SamplePeriod:  *samplePeriod,
+		Heatmap:       *heatmapOut != "",
 	}
 
 	p, err := traffic.ByName(*pattern, cfg.Mesh())
@@ -70,12 +104,14 @@ func main() {
 	fmt.Printf("mesh               %dx%d, %d VCs\n", cfg.Width, cfg.Height, cfg.VCs)
 	fmt.Printf("pattern            %s @ %.3f flits/node/cycle\n", *pattern, *rate)
 	fmt.Printf("offered/accepted   %.3f / %.3f flits/node/cycle\n", res.Offered, res.Accepted)
-	fmt.Printf("avg latency        %.1f cycles\n", res.AvgLatency(flit.ClassBackground))
-	fmt.Printf("p99 latency        %.0f cycles\n", res.P99)
+	fmt.Printf("avg latency        %s cycles\n", naFloat(res.AvgLatency(flit.ClassBackground), "%.1f",
+		res.Latency[flit.ClassBackground] != nil && res.Latency[flit.ClassBackground].N() > 0))
+	fmt.Printf("p99 latency        %s cycles\n", naFloat(res.P99, "%.0f", !math.IsNaN(res.P99)))
 	fmt.Printf("stable             %v (%d/%d measured packets delivered)\n",
 		res.Stable, res.MeasuredEjected, res.Measured)
 	fmt.Printf("blocking           %d events, purity %.3f, HoL degree %.1f\n",
 		res.BlockEvents, res.Purity, res.HoLDegree)
+	fmt.Printf("runtime            %s\n", res.Runtime)
 	if probe != nil {
 		snap := probe.Snapshot(cfg.Mesh())
 		fmt.Printf("\nmean link utilization %.3f over %d cycles (whole run)\n", snap.Mean(), snap.Cycles)
@@ -84,6 +120,52 @@ func main() {
 		for _, l := range snap.Hottest(5) {
 			fmt.Printf("  n%-3d -%s-> n%-3d %.3f flits/cycle\n", l.From, l.Dir, l.To, l.Utilization)
 		}
+	}
+
+	if col := s.Observability(); col != nil {
+		if *traceOut != "" {
+			writeFile(*traceOut, col.Tracer.WriteChromeTrace)
+			fmt.Printf("trace              %s (%d events, %d dropped) — load in https://ui.perfetto.dev\n",
+				*traceOut, col.Tracer.Len(), col.Tracer.Dropped())
+		}
+		if *traceJSONL != "" {
+			writeFile(*traceJSONL, col.Tracer.WriteJSONL)
+			fmt.Printf("trace jsonl        %s (%d events, %d dropped)\n",
+				*traceJSONL, col.Tracer.Len(), col.Tracer.Dropped())
+		}
+		if *countersOut != "" {
+			writeFile(*countersOut, col.Sampler.WriteCSV)
+			fmt.Printf("counters           %s (%d samples every %d cycles)\n",
+				*countersOut, len(col.Sampler.Samples()), col.Sampler.Period())
+		}
+		if *heatmapOut != "" {
+			writeFile(*heatmapOut, col.Heatmap.WriteCSV)
+			fmt.Printf("heatmap            %s (%d flits ejected in window)\n",
+				*heatmapOut, col.Heatmap.TotalEjected())
+		}
+	}
+}
+
+// naFloat formats v with format when ok, else "n/a".
+func naFloat(v float64, format string, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"nocsim/internal/exp"
@@ -18,7 +20,17 @@ func main() {
 	figure := flag.Int("figure", 5, "figure to regenerate (5, 6 or 7)")
 	pattern := flag.String("pattern", "", "restrict to one pattern (default: all three)")
 	profile := flag.String("profile", "full", "effort level: full or quick")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	prof := exp.FullProfile()
 	if *profile == "quick" {

@@ -6,6 +6,7 @@ import (
 
 	"nocsim/internal/flit"
 	"nocsim/internal/sim"
+	"nocsim/internal/stats"
 	"nocsim/internal/traffic"
 )
 
@@ -168,10 +169,7 @@ func (v VCSweep) Format() string {
 	fmt.Fprintf(&b, "%-6s %12s %12s %8s\n", "VCs", "footprint", "dbar", "gain")
 	for _, pt := range v.Points {
 		fp, db := pt.Throughput["footprint"], pt.Throughput["dbar"]
-		gain := 0.0
-		if db > 0 {
-			gain = (fp - db) / db * 100
-		}
+		gain := stats.Ratio(fp-db, db) * 100
 		fmt.Fprintf(&b, "%-6d %12.3f %12.3f %+7.1f%%\n", pt.VCs, fp, db, gain)
 	}
 	return b.String()
@@ -247,9 +245,7 @@ func Figure8(p Profile, sizes [][2]int) (ScaleStudy, error) {
 				}
 				pt.Throughput[alg] = sr.Throughput
 			}
-			if fp := pt.Throughput["footprint"]; fp > 0 {
-				pt.DBARNormalized = pt.Throughput["dbar"] / fp
-			}
+			pt.DBARNormalized = stats.Ratio(pt.Throughput["dbar"], pt.Throughput["footprint"])
 			out.Points = append(out.Points, pt)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"nocsim/internal/flit"
 	"nocsim/internal/sim"
+	"nocsim/internal/stats"
 	"nocsim/internal/trace"
 )
 
@@ -105,9 +106,8 @@ func Figure10(p Profile, pairs [][2]string) (TraceStudy, error) {
 			pr.Latency[alg] = res.AvgLatency(flit.ClassBackground)
 			pr.Delivered[alg] = res.MeasuredEjected
 		}
-		if db := pr.Latency["dbar"]; db > 0 {
-			pr.DeltaPct = (db - pr.Latency["footprint"]) / db * 100
-		}
+		db := pr.Latency["dbar"]
+		pr.DeltaPct = stats.Ratio(db-pr.Latency["footprint"], db) * 100
 		study.Pairs = append(study.Pairs, pr)
 	}
 	// Per-workload blocking metrics (Figures 10b, 10c) from solo runs.
@@ -146,10 +146,7 @@ func (ts TraceStudy) Format() string {
 	b.WriteString("\nFigure 10(b) — purity of blocking (higher = less HoL)\n")
 	fmt.Fprintf(&b, "%-16s %12s %12s %10s\n", "workload", "footprint", "dbar", "fp gain")
 	for _, wm := range ts.PerWorkload {
-		gain := 0.0
-		if wm.Purity["dbar"] > 0 {
-			gain = (wm.Purity["footprint"] - wm.Purity["dbar"]) / wm.Purity["dbar"] * 100
-		}
+		gain := stats.Ratio(wm.Purity["footprint"]-wm.Purity["dbar"], wm.Purity["dbar"]) * 100
 		fmt.Fprintf(&b, "%-16s %12.3f %12.3f %+9.1f%%\n",
 			wm.Name, wm.Purity["footprint"], wm.Purity["dbar"], gain)
 	}

@@ -91,6 +91,7 @@ func New(cfg Config) *Network {
 		n.routers[id].AttachIn(topo.Local, inj)
 		n.routers[id].AttachOut(topo.Local, ej)
 		ep := router.NewEndpoint(id, cfg.VCs, cfg.BufDepth, inj, ej)
+		ep.SetMetrics(cfg.Metrics)
 		if iv, ok := cfg.SlowEndpoints[id]; ok {
 			ep.ConsumeInterval = iv
 		}
@@ -166,6 +167,19 @@ func (n *Network) Run(cycles int64) {
 	for i := int64(0); i < cycles; i++ {
 		n.Step()
 	}
+}
+
+// TotalOutputFlits sums the flits sent by every router over every output
+// port (cardinal links plus ejection links) since construction — the
+// fabric's total flit-hop work, used by the runtime self-metrics.
+func (n *Network) TotalOutputFlits() int64 {
+	var total int64
+	for _, r := range n.routers {
+		for d := topo.East; d <= topo.Local; d++ {
+			total += r.OutputFlits(d)
+		}
+	}
+	return total
 }
 
 // InFlight reports the number of packets offered but not yet fully ejected

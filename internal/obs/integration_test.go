@@ -1,0 +1,309 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nocsim/internal/obs"
+	"nocsim/internal/sim"
+	"nocsim/internal/topo"
+	"nocsim/internal/traffic"
+)
+
+// runObserved runs a short 4x4 uniform-traffic simulation with every
+// collector enabled and returns the result plus the collector.
+func runObserved(t *testing.T) (*sim.Result, *obs.Collector, sim.Config) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.VCs = 4
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 600
+	cfg.DrainCycles = 4000
+	cfg.Obs = obs.Options{Trace: true, SamplePeriod: 50, Heatmap: true}
+	gen := &traffic.Generator{Pattern: traffic.Uniform{Nodes: cfg.Mesh().Nodes()},
+		Rate: 0.2, Size: traffic.UniformSize(1, 4)}
+	s := sim.MustNew(cfg, gen)
+	col := s.Observability()
+	if col == nil {
+		t.Fatal("Observability() nil with collectors enabled")
+	}
+	res := s.Run()
+	return res, col, cfg
+}
+
+// TestSeamSharedBySimMetricsAndTracer checks that the simulator's own
+// metrics and the tracer both consume the same MetricsSink seam in one
+// run: blocking statistics (fed by sim.metrics) and lifecycle events
+// (fed by the Collector) must both be populated.
+func TestSeamSharedBySimMetricsAndTracer(t *testing.T) {
+	res, col, _ := runObserved(t)
+	if !res.Stable {
+		t.Fatal("test load should be stable")
+	}
+	if res.Measured == 0 {
+		t.Fatal("no packets measured")
+	}
+	// sim.metrics side of the tee: purity needs VC-alloc failure events.
+	if res.BlockEvents == 0 {
+		t.Error("sim metrics saw no block events through the tee")
+	}
+	// Collector side of the tee.
+	if col.Tracer.Total() == 0 {
+		t.Error("tracer saw no events through the tee")
+	}
+	kinds := map[obs.EventKind]int{}
+	for _, e := range col.Tracer.Events() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []obs.EventKind{obs.EventInject, obs.EventRoute, obs.EventGrant, obs.EventHop, obs.EventEject} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events recorded", k)
+		}
+	}
+}
+
+// TestChromeTraceFromSimulation validates the Chrome-trace export of a
+// real run: well-formed JSON with a traceEvents array of events that all
+// carry the required fields, loadable by Perfetto.
+func TestChromeTraceFromSimulation(t *testing.T) {
+	_, col, _ := runObserved(t)
+	var buf bytes.Buffer
+	if err := col.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	phases := map[string]bool{}
+	for i, ce := range f.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ce[key]; !ok {
+				t.Fatalf("event %d missing %q", i, key)
+			}
+		}
+		ph := ce["ph"].(string)
+		phases[ph] = true
+		if ph != "i" && ph != "X" {
+			t.Errorf("event %d: unexpected phase %q", i, ph)
+		}
+		if ph == "X" {
+			if dur, ok := ce["dur"].(float64); !ok || dur < 1 {
+				t.Errorf("event %d: X slice needs dur >= 1, got %v", i, ce["dur"])
+			}
+		}
+	}
+	if !phases["i"] || !phases["X"] {
+		t.Errorf("want both instant and slice events, got %v", phases)
+	}
+}
+
+// TestJSONLFromSimulation checks the JSONL export line by line.
+func TestJSONLFromSimulation(t *testing.T) {
+	_, col, _ := runObserved(t)
+	var buf bytes.Buffer
+	if err := col.Tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		if _, ok := m["kind"]; !ok {
+			t.Fatalf("line %d missing kind", n)
+		}
+		n++
+	}
+	if n != col.Tracer.Len() {
+		t.Errorf("wrote %d lines, tracer retains %d", n, col.Tracer.Len())
+	}
+}
+
+// TestHeatmapReconcilesWithAccepted checks the acceptance criterion: the
+// heatmap's per-node ejection grid must total exactly Accepted x nodes x
+// measurement cycles.
+func TestHeatmapReconcilesWithAccepted(t *testing.T) {
+	res, col, cfg := runObserved(t)
+	nodes := int64(cfg.Mesh().Nodes())
+	wantFlits := int64(res.Accepted*float64(nodes)*float64(cfg.MeasureCycles) + 0.5)
+	if got := col.Heatmap.TotalEjected(); got != wantFlits {
+		t.Errorf("heatmap total %d, want %d (Accepted=%v over %d nodes x %d cycles)",
+			got, wantFlits, res.Accepted, nodes, cfg.MeasureCycles)
+	}
+	if col.Heatmap.TotalEjected() == 0 {
+		t.Fatal("heatmap counted nothing")
+	}
+
+	// The CSV grid section must re-total to the same number.
+	var buf bytes.Buffer
+	if err := col.Heatmap.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var gridTotal int64
+	rows := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cells := strings.Split(line, ",")
+		if len(cells) != cfg.Width {
+			break // link section reached
+		}
+		for _, c := range cells {
+			v, err := strconv.ParseInt(c, 10, 64)
+			if err != nil {
+				t.Fatalf("bad grid cell %q: %v", c, err)
+			}
+			gridTotal += v
+		}
+		rows++
+	}
+	if rows != cfg.Height {
+		t.Errorf("grid has %d rows, want %d", rows, cfg.Height)
+	}
+	if gridTotal != wantFlits {
+		t.Errorf("CSV grid total %d, want %d", gridTotal, wantFlits)
+	}
+	if !strings.Contains(buf.String(), "# directed links:") {
+		t.Error("CSV missing link section")
+	}
+}
+
+// TestHeatmapLinkFlowConservation sanity-checks the link section: every
+// flit ejected somewhere must have crossed at least the ejection link, so
+// total link flits >= total ejected flits.
+func TestHeatmapLinkFlowConservation(t *testing.T) {
+	_, col, cfg := runObserved(t)
+	m := cfg.Mesh()
+	var linkTotal, ejectLinks int64
+	for id := 0; id < m.Nodes(); id++ {
+		for d := topo.East; d <= topo.Local; d++ {
+			f := col.Heatmap.LinkFlits(id, d)
+			if f < 0 {
+				t.Fatalf("negative link count at node %d dir %v", id, d)
+			}
+			linkTotal += f
+			if d == topo.Local {
+				ejectLinks += f
+			}
+		}
+	}
+	if linkTotal < col.Heatmap.TotalEjected() {
+		t.Errorf("link total %d below ejected total %d", linkTotal, col.Heatmap.TotalEjected())
+	}
+	// Ejection-link traffic covers at least the window's ejected flits
+	// (it also sees warmup-born packets draining through the window).
+	if ejectLinks < col.Heatmap.TotalEjected() {
+		t.Errorf("ejection links carried %d flits, below window ejections %d",
+			ejectLinks, col.Heatmap.TotalEjected())
+	}
+}
+
+// TestSamplerSeries checks the time-series counters: correct cadence,
+// monotone cumulative counters, and a parseable CSV.
+func TestSamplerSeries(t *testing.T) {
+	_, col, cfg := runObserved(t)
+	samples := col.Sampler.Samples()
+	if len(samples) == 0 {
+		t.Fatal("sampler recorded nothing")
+	}
+	nodes := cfg.Mesh().Nodes()
+	if len(samples)%nodes != 0 {
+		t.Errorf("%d samples not a multiple of %d routers", len(samples), nodes)
+	}
+	// Per (node) the cumulative counters never decrease over time.
+	last := map[int]obs.RouterSample{}
+	for _, s := range samples {
+		if prev, ok := last[s.Node]; ok {
+			if s.Cycle <= prev.Cycle {
+				t.Fatalf("node %d: cycle went backwards %d -> %d", s.Node, prev.Cycle, s.Cycle)
+			}
+			if s.VCAllocFails < prev.VCAllocFails {
+				t.Errorf("node %d: vc_alloc_fails decreased", s.Node)
+			}
+			for d := topo.East; d <= topo.Local; d++ {
+				if s.Ports[d].LinkFlits < prev.Ports[d].LinkFlits {
+					t.Errorf("node %d port %v: link_flits decreased", s.Node, d)
+				}
+				if s.Ports[d].XbarGrants < prev.Ports[d].XbarGrants {
+					t.Errorf("node %d port %v: xbar_grants decreased", s.Node, d)
+				}
+			}
+		}
+		last[s.Node] = s
+	}
+
+	var buf bytes.Buffer
+	if err := col.Sampler.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,node,port,buffer_occ,credit_stalls,xbar_grants,link_flits,vc_alloc_fails" {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	if want := len(samples)*int(topo.NumPorts) + 1; len(lines) != want {
+		t.Errorf("CSV has %d lines, want %d", len(lines), want)
+	}
+}
+
+// TestRuntimeStatsPopulated checks the simulator's self-metrics.
+func TestRuntimeStatsPopulated(t *testing.T) {
+	res, _, _ := runObserved(t)
+	rt := res.Runtime
+	if rt.Cycles <= 0 || rt.WallSeconds <= 0 {
+		t.Fatalf("runtime stats empty: %+v", rt)
+	}
+	if rt.CyclesPerSec <= 0 || rt.FlitHops <= 0 || rt.FlitHopsPerSec <= 0 {
+		t.Errorf("derived rates empty: %+v", rt)
+	}
+	if rt.String() == "" {
+		t.Error("empty RuntimeStats.String")
+	}
+}
+
+// TestDisabledObservability checks the zero-cost path wiring: no
+// collector, and results identical to an observed run with the same seed.
+func TestDisabledObservability(t *testing.T) {
+	base := sim.DefaultConfig()
+	base.Width, base.Height = 4, 4
+	base.VCs = 4
+	base.WarmupCycles = 200
+	base.MeasureCycles = 400
+	base.DrainCycles = 3000
+
+	run := func(o obs.Options) *sim.Result {
+		cfg := base
+		cfg.Obs = o
+		gen := &traffic.Generator{Pattern: traffic.Uniform{Nodes: cfg.Mesh().Nodes()},
+			Rate: 0.2, Size: traffic.FixedSize(2)}
+		s := sim.MustNew(cfg, gen)
+		if o.Enabled() && s.Observability() == nil {
+			t.Fatal("collector missing")
+		}
+		if !o.Enabled() && s.Observability() != nil {
+			t.Fatal("collector present when disabled")
+		}
+		return s.Run()
+	}
+	off := run(obs.Options{})
+	on := run(obs.Options{Trace: true, SamplePeriod: 25, Heatmap: true})
+	// Observability must not perturb simulation behavior.
+	if off.Accepted != on.Accepted || off.Measured != on.Measured ||
+		off.P99 != on.P99 || off.BlockEvents != on.BlockEvents {
+		t.Errorf("observability changed results:\noff: %v\non:  %v", off, on)
+	}
+}

@@ -37,6 +37,11 @@ type Endpoint struct {
 	// simulator collects latency statistics here. May be nil.
 	Sink func(p *flit.Packet)
 
+	// metrics receives packet inject/eject lifecycle events; set with
+	// SetMetrics. wantEvents caches its WantPacketEvents answer.
+	metrics    MetricsSink
+	wantEvents bool
+
 	// ConsumeInterval throttles the ejection bandwidth: the endpoint
 	// consumes at most one flit every ConsumeInterval cycles. 1 (the
 	// default) matches the router port bandwidth; larger values model
@@ -69,6 +74,13 @@ func NewEndpoint(node, vcs, bufDepth int, injCh, ejCh *Channel) *Endpoint {
 		e.credits[v] = bufDepth
 	}
 	return e
+}
+
+// SetMetrics attaches a metrics sink; the endpoint reports packet
+// injection and ejection through it. Must be called before traffic flows.
+func (e *Endpoint) SetMetrics(m MetricsSink) {
+	e.metrics = m
+	e.wantEvents = m != nil && m.WantPacketEvents()
 }
 
 // Offer appends a packet to the source queue. The packet's Born cycle must
@@ -133,6 +145,9 @@ func (e *Endpoint) Consume(now int64) {
 		if p.Dest != e.node {
 			panic(fmt.Sprintf("router: packet %d for %d ejected at %d", p.ID, p.Dest, e.node))
 		}
+		if e.wantEvents {
+			e.metrics.OnEject(now, p)
+		}
 		if e.Sink != nil {
 			e.Sink(p)
 		}
@@ -169,6 +184,9 @@ func (e *Endpoint) Inject(now int64) {
 	e.injCh.Send(f)
 	if f.Head {
 		e.curPacket.Inject = now
+		if e.wantEvents {
+			e.metrics.OnInject(now, e.curPacket)
+		}
 	}
 	if f.Tail {
 		e.vcBusy[e.injVC] = false

@@ -39,15 +39,6 @@ type DownstreamInfo interface {
 	DownstreamIdle(node int, d topo.Direction, dest int) int
 }
 
-// MetricsSink receives router events; the simulator aggregates them.
-type MetricsSink interface {
-	// OnVCAllocFailure fires when a routed head flit requested VCs but
-	// received no grant this cycle. footprintVCs and busyVCs describe the
-	// adaptive VCs of the requested output port at that moment; the
-	// paper's "purity of blocking" is footprintVCs/busyVCs (Figure 10b).
-	OnVCAllocFailure(node int, footprintVCs, busyVCs int)
-}
-
 // input VC state machine states.
 const (
 	vcIdle    = iota // no packet at the head of the buffer
@@ -150,6 +141,23 @@ type Router struct {
 	// outFlits counts flits sent per output port, for link-utilization
 	// analysis.
 	outFlits [topo.NumPorts]int64
+	// creditStalls counts VC-cycles an active input VC headed for the
+	// output port could not traverse because its output VC had no
+	// downstream credits (one count per stalled VC per cycle).
+	creditStalls [topo.NumPorts]int64
+	// xbarGrants counts crossbar grants won by each output port.
+	xbarGrants [topo.NumPorts]int64
+	// vcAllocFails counts head packets that requested VCs and received no
+	// grant, summed over cycles.
+	vcAllocFails int64
+
+	// now is the router's cycle counter, advanced at the end of
+	// SwitchAndTraverse so it matches the network's clock during every
+	// phase. It stamps the events sent to the metrics sink.
+	now int64
+	// wantEvents caches Metrics.WantPacketEvents() so the per-packet
+	// lifecycle callbacks cost one branch when no consumer wants them.
+	wantEvents bool
 }
 
 // New constructs a router. Input and output channels are attached later by
@@ -192,6 +200,9 @@ func New(cfg Config) *Router {
 		r.out[p] = op
 		r.saIn[p] = alloc.NewRoundRobin(cfg.VCs)
 		r.saOut[p] = alloc.NewRoundRobin(P)
+	}
+	if cfg.Metrics != nil {
+		r.wantEvents = cfg.Metrics.WantPacketEvents()
 	}
 	return r
 }
@@ -353,6 +364,9 @@ func (r *Router) AllocateVCs() {
 				// packet per router and retried until granted; see
 				// DESIGN.md for why the default reproduces the paper's
 				// results and stickiness does not.
+				if r.wantEvents && !iv.routed {
+					r.cfg.Metrics.OnRoute(r.now, r.cfg.NodeID, f.Packet, topo.Direction(p))
+				}
 				iv.reqs = iv.reqs[:0]
 				if f.Packet.Dest == r.cfg.NodeID {
 					// Ejection: request every local-port VC obliviously.
@@ -412,6 +426,9 @@ func (r *Router) AllocateVCs() {
 		ov.allocated = true
 		ov.owner = iv.front().Packet.Dest
 		ov.regOwner = ov.owner
+		if r.wantEvents {
+			r.cfg.Metrics.OnVCAllocGrant(r.now, r.cfg.NodeID, iv.front().Packet, od, ovc, iv.blocked)
+		}
 	}
 
 	// Blocking bookkeeping: every head packet that tried and failed.
@@ -426,9 +443,11 @@ func (r *Router) AllocateVCs() {
 				continue
 			}
 			iv.blocked++
+			r.vcAllocFails++
 			if r.cfg.Metrics != nil {
-				fp, busy := r.portOccupancy(r.reqPort[requester], iv.front().Packet.Dest)
-				r.cfg.Metrics.OnVCAllocFailure(r.cfg.NodeID, fp, busy)
+				out := r.reqPort[requester]
+				fp, busy := r.portOccupancy(out, iv.front().Packet.Dest)
+				r.cfg.Metrics.OnVCAllocFailure(r.now, r.cfg.NodeID, iv.front().Packet, out, fp, busy, iv.blocked)
 			}
 		}
 	}
@@ -472,7 +491,18 @@ func (r *Router) SwitchAndTraverse() {
 				continue
 			}
 			for v := range r.saVec {
-				r.saVec[v] = r.vcReady(p, v)
+				ready := r.vcReady(p, v)
+				r.saVec[v] = ready
+				if !ready && iter == 0 {
+					// Diagnose the stall once per cycle: an active VC
+					// with buffered flits whose output VC is out of
+					// credits is backpressure from downstream.
+					iv := &r.in[p][v]
+					if iv.state == vcActive && len(iv.buf) > 0 &&
+						r.out[iv.outDir].vcs[iv.outVC].credits == 0 {
+						r.creditStalls[iv.outDir]++
+					}
+				}
 			}
 			if v := r.saIn[p].Arbitrate(r.saVec); v >= 0 {
 				noms[p] = nominee{vc: v, ok: true}
@@ -500,11 +530,35 @@ func (r *Router) SwitchAndTraverse() {
 		op.ch.Send(f)
 		r.outFlits[o]++
 	}
+	r.now++
 }
 
 // OutputFlits returns the number of flits the router has sent through
 // output port d since construction, for utilization analysis.
 func (r *Router) OutputFlits(d topo.Direction) int64 { return r.outFlits[d] }
+
+// CreditStalls returns the cumulative VC-cycles in which an active input
+// VC headed for output port d could not traverse the switch because its
+// output VC had no downstream credits.
+func (r *Router) CreditStalls(d topo.Direction) int64 { return r.creditStalls[d] }
+
+// CrossbarGrants returns the cumulative crossbar grants won by output
+// port d (one per flit crossing the switch, including speedup passes).
+func (r *Router) CrossbarGrants(d topo.Direction) int64 { return r.xbarGrants[d] }
+
+// VCAllocFailures returns the cumulative count of head packets that
+// requested output VCs and received no grant, summed over cycles.
+func (r *Router) VCAllocFailures() int64 { return r.vcAllocFails }
+
+// InputBufferOccupancy returns the total flits buffered across the VCs of
+// input port d.
+func (r *Router) InputBufferOccupancy(d topo.Direction) int {
+	n := 0
+	for v := range r.in[d] {
+		n += len(r.in[d][v].buf)
+	}
+	return n
+}
 
 // vcReady reports whether input VC (p, v) can traverse the switch now.
 func (r *Router) vcReady(p, v int) bool {
@@ -525,6 +579,10 @@ func (r *Router) traverse(p, v int) {
 	f.VC = iv.outVC
 	ov.credits--
 	r.out[iv.outDir].stage = append(r.out[iv.outDir].stage, f)
+	r.xbarGrants[iv.outDir]++
+	if r.wantEvents && f.Head {
+		r.cfg.Metrics.OnHeadTraverse(r.now, r.cfg.NodeID, f.Packet, iv.outDir, iv.outVC)
+	}
 
 	// Return a credit for the freed input buffer slot.
 	if ch := r.inCh[p]; ch != nil {

@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 
+	"nocsim/internal/obs"
 	"nocsim/internal/routing"
 	"nocsim/internal/topo"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	// ejection bandwidth is below port bandwidth, the second source of
 	// endpoint congestion in Section 2 of the paper.
 	SlowEndpoints map[int]int
+	// Obs selects the observability collectors (lifecycle tracer,
+	// counter sampler, link heatmap) attached to the run. The zero value
+	// disables them all; see Simulation.Observability.
+	Obs obs.Options
 
 	// WarmupCycles run before measurement starts.
 	WarmupCycles int64

@@ -1,13 +1,19 @@
 package sim
 
 import (
+	"nocsim/internal/flit"
 	"nocsim/internal/network"
+	"nocsim/internal/router"
+	"nocsim/internal/stats"
 	"nocsim/internal/topo"
 )
 
 // metrics implements router.MetricsSink and periodic network sampling,
 // aggregating the blocking statistics behind Figures 10(b) and 10(c).
+// The embedded NopSink declines the per-packet lifecycle events; only
+// VC-allocation failures are consumed.
 type metrics struct {
+	router.NopSink
 	enabled bool
 	// blockEvents counts VC-allocation failures of routed head packets.
 	blockEvents int64
@@ -30,7 +36,7 @@ type metrics struct {
 const samplePeriod = 16
 
 // OnVCAllocFailure implements router.MetricsSink.
-func (m *metrics) OnVCAllocFailure(node, footprintVCs, busyVCs int) {
+func (m *metrics) OnVCAllocFailure(now int64, node int, p *flit.Packet, out topo.Direction, footprintVCs, busyVCs int, waited int64) {
 	if !m.enabled {
 		return
 	}
@@ -78,10 +84,7 @@ func (m *metrics) reset() {
 // port, averaged over blocking events. Higher means blocking is caused by
 // the packet's own flow rather than HoL interference.
 func (m *metrics) purity() float64 {
-	if m.sameDestObs == 0 {
-		return 0
-	}
-	return m.sameDestSum / float64(m.sameDestObs)
+	return stats.Ratio(m.sameDestSum, float64(m.sameDestObs))
 }
 
 // holDegree returns the degree of HoL blocking: impurity × number of
@@ -95,8 +98,5 @@ func (m *metrics) holDegree() float64 {
 // VC buffers whose packets all share one destination (destination
 // organization of the buffer space).
 func (m *metrics) bufferPurity() float64 {
-	if m.occupiedVCs == 0 {
-		return 0
-	}
-	return float64(m.pureVCs) / float64(m.occupiedVCs)
+	return stats.Ratio(float64(m.pureVCs), float64(m.occupiedVCs))
 }

@@ -2,10 +2,15 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
+	"time"
 
 	"nocsim/internal/flit"
 	"nocsim/internal/network"
+	"nocsim/internal/obs"
+	"nocsim/internal/router"
 	"nocsim/internal/routing"
 	"nocsim/internal/stats"
 	"nocsim/internal/topo"
@@ -42,6 +47,37 @@ type Result struct {
 	HoLDegree    float64
 	BlockEvents  int64
 	BufferPurity float64
+	// Runtime reports the simulator's own performance over the whole run
+	// (warmup + measurement + drain).
+	Runtime RuntimeStats
+}
+
+// RuntimeStats are the simulator's self-metrics: how fast the host
+// machine simulated the fabric, and how much it allocated doing so.
+type RuntimeStats struct {
+	// WallSeconds is the host wall-clock time of the run.
+	WallSeconds float64
+	// Cycles is the number of fabric cycles stepped.
+	Cycles int64
+	// CyclesPerSec is Cycles / WallSeconds.
+	CyclesPerSec float64
+	// FlitHops counts every flit sent through every router output port
+	// (cardinal links and ejection links) — the fabric's total transport
+	// work.
+	FlitHops int64
+	// FlitHopsPerSec is FlitHops / WallSeconds.
+	FlitHopsPerSec float64
+	// HeapAllocBytes and HeapAllocs are the heap allocation deltas over
+	// the run (runtime.MemStats TotalAlloc / Mallocs).
+	HeapAllocBytes uint64
+	HeapAllocs     uint64
+}
+
+// String renders the self-metrics as a one-line report.
+func (rs RuntimeStats) String() string {
+	return fmt.Sprintf("%d cycles in %.2fs (%.0f cycles/s, %.0f flit-hops/s, %.1f MB allocated)",
+		rs.Cycles, rs.WallSeconds, rs.CyclesPerSec, rs.FlitHopsPerSec,
+		float64(rs.HeapAllocBytes)/(1<<20))
 }
 
 // AvgLatency returns the mean latency of measured packets of class c.
@@ -76,6 +112,7 @@ type Simulation struct {
 	gens []Injector
 	rng  *rand.Rand
 	met  *metrics
+	col  *obs.Collector // nil unless cfg.Obs selects collectors
 
 	nextID    uint64
 	measuring bool
@@ -115,8 +152,16 @@ func New(cfg Config, gens ...Injector) (*Simulation, error) {
 		cfg:     cfg,
 		rng:     rng,
 		met:     &metrics{},
+		col:     obs.NewCollector(cfg.Obs),
 		latency: map[flit.Class]*stats.Summary{},
 		hist:    stats.NewHistogram(4096),
+	}
+	// The simulator's own metrics and the observability collectors share
+	// the router.MetricsSink seam; Tee keeps direct dispatch when the
+	// collectors are disabled.
+	var sink router.MetricsSink = s.met
+	if s.col != nil {
+		sink = router.Tee(s.met, s.col)
 	}
 	s.net = network.New(network.Config{
 		Mesh:          cfg.Mesh(),
@@ -125,7 +170,7 @@ func New(cfg Config, gens ...Injector) (*Simulation, error) {
 		Speedup:       cfg.Speedup,
 		NewAlg:        newAlg,
 		Rand:          rng,
-		Metrics:       s.met,
+		Metrics:       sink,
 		StickyRouting: cfg.StickyRouting,
 		SlowEndpoints: cfg.SlowEndpoints,
 	})
@@ -152,6 +197,11 @@ func MustNew(cfg Config, gens ...Injector) *Simulation {
 
 // Network exposes the underlying fabric for analyzers.
 func (s *Simulation) Network() *network.Network { return s.net }
+
+// Observability returns the run's collector — tracer, sampler and
+// heatmap as selected by Config.Obs — or nil when observability is
+// disabled. Export its data after Run.
+func (s *Simulation) Observability() *obs.Collector { return s.col }
 
 // onEject collects statistics for packets completing at their destination.
 func (s *Simulation) onEject(p *flit.Packet) {
@@ -191,6 +241,9 @@ func (s *Simulation) step() {
 	if inWindow && now%samplePeriod == 0 {
 		s.met.sample(s.net)
 	}
+	if s.col != nil {
+		s.col.Tick(now, s.net)
+	}
 	for _, g := range s.gens {
 		g.Tick(now, func(p *flit.Packet) {
 			s.nextID++
@@ -208,6 +261,11 @@ func (s *Simulation) step() {
 // Run executes warmup, measurement and drain, returning the aggregated
 // result.
 func (s *Simulation) Run() *Result {
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
+	wall0 := time.Now()
+	startCycle := s.net.Now()
+
 	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
 		s.step()
 	}
@@ -216,10 +274,16 @@ func (s *Simulation) Run() *Result {
 	s.measuring = true
 	s.measStart = s.net.Now()
 	s.measEnd = s.measStart + s.cfg.MeasureCycles
+	if s.col != nil {
+		s.col.OpenWindow(s.net, s.cfg.Mesh(), s.measStart, s.measEnd)
+	}
 	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
 		s.step()
 	}
 	s.met.enabled = false
+	if s.col != nil {
+		s.col.CloseWindow(s.net)
+	}
 	// Drain: keep the offered load flowing so the backpressure seen by
 	// measured packets persists, until every measured packet has ejected
 	// or the drain budget runs out.
@@ -227,6 +291,21 @@ func (s *Simulation) Run() *Result {
 		s.step()
 	}
 	s.measuring = false
+
+	wall := time.Since(wall0).Seconds()
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	ranCycles := s.net.Now() - startCycle
+	hops := s.net.TotalOutputFlits()
+	rt := RuntimeStats{
+		WallSeconds:    wall,
+		Cycles:         ranCycles,
+		CyclesPerSec:   stats.Ratio(float64(ranCycles), wall),
+		FlitHops:       hops,
+		FlitHopsPerSec: stats.Ratio(float64(hops), wall),
+		HeapAllocBytes: mem1.TotalAlloc - mem0.TotalAlloc,
+		HeapAllocs:     mem1.Mallocs - mem0.Mallocs,
+	}
 
 	nodes := float64(s.cfg.Mesh().Nodes())
 	cycles := float64(s.cfg.MeasureCycles)
@@ -242,6 +321,7 @@ func (s *Simulation) Run() *Result {
 		Purity:          s.met.purity(),
 		BlockEvents:     s.met.blockEvents,
 		BufferPurity:    s.met.bufferPurity(),
+		Runtime:         rt,
 	}
 	if s.measured > 0 {
 		res.HoLDegree = s.met.holDegree() / float64(s.measured) * 1000
@@ -249,8 +329,17 @@ func (s *Simulation) Run() *Result {
 	return res
 }
 
-// String renders a result as a one-line report.
+// String renders a result as a one-line report. Runs that measured no
+// background packets have no latency distribution; their latency and
+// p99 columns read "n/a" rather than a misleading zero.
 func (r *Result) String() string {
-	return fmt.Sprintf("alg=%s offered=%.3f accepted=%.3f lat=%.1f p99=%.0f stable=%v",
-		r.Config.Algorithm, r.Offered, r.Accepted, r.AvgLatency(flit.ClassBackground), r.P99, r.Stable)
+	lat, p99 := "n/a", "n/a"
+	if s, ok := r.Latency[flit.ClassBackground]; ok && s.N() > 0 {
+		lat = fmt.Sprintf("%.1f", s.Mean())
+	}
+	if !math.IsNaN(r.P99) {
+		p99 = fmt.Sprintf("%.0f", r.P99)
+	}
+	return fmt.Sprintf("alg=%s offered=%.3f accepted=%.3f lat=%s p99=%s stable=%v",
+		r.Config.Algorithm, r.Offered, r.Accepted, lat, p99, r.Stable)
 }

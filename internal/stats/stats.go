@@ -120,11 +120,13 @@ func (h *Histogram) Add(v int64) {
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.total }
 
-// Quantile returns the q-quantile (0 <= q <= 1). Values beyond the exact
+// Quantile returns the q-quantile (0 <= q <= 1), or NaN for an empty
+// histogram — an empty distribution has no quantiles, and returning 0
+// would read as a real (excellent) latency. Values beyond the exact
 // range are approximated by the tail mean.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
-		return 0
+		return math.NaN()
 	}
 	target := int64(q * float64(h.total-1))
 	var cum int64
@@ -158,6 +160,16 @@ func (h *Histogram) Reset() {
 	h.over = 0
 	h.overS.Reset()
 	h.total = 0
+}
+
+// Ratio returns num/den, or 0 when den is zero — the shared guard for
+// the rate and purity computations that would otherwise divide by zero
+// on empty observation windows.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // Median of a small sample; the input slice is sorted in place.

@@ -89,6 +89,55 @@ func TestHistogramNegativeClamped(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyQuantileNaN(t *testing.T) {
+	h := NewHistogram(10)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	h.Add(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single-element Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestHistogramSkewedQuantiles(t *testing.T) {
+	// 99 observations at 1, one at 80: every quantile up to p98 is 1,
+	// p99 and above hit the outlier.
+	h := NewHistogram(100)
+	for i := 0; i < 99; i++ {
+		h.Add(1)
+	}
+	h.Add(80)
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("skewed median = %v, want 1", q)
+	}
+	if q := h.Quantile(0.98); q != 1 {
+		t.Errorf("skewed p98 = %v, want 1", q)
+	}
+	if q := h.Quantile(1); q != 80 {
+		t.Errorf("skewed p100 = %v, want 80", q)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3); got != 2 {
+		t.Errorf("Ratio(6,3) = %v, want 2", got)
+	}
+	if got := Ratio(5, 0); got != 0 {
+		t.Errorf("Ratio(5,0) = %v, want 0", got)
+	}
+	if got := Ratio(0, 0); got != 0 {
+		t.Errorf("Ratio(0,0) = %v, want 0", got)
+	}
+	if got := Ratio(-4, 2); got != -2 {
+		t.Errorf("Ratio(-4,2) = %v, want -2", got)
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	h := NewHistogram(10)
 	h.Add(3)

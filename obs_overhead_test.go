@@ -1,0 +1,47 @@
+package nocsim
+
+import (
+	"testing"
+
+	"nocsim/internal/obs"
+)
+
+// TestObsOverheadBudget is the CI guard on the telemetry layer's cost.
+// The disabled path already differs from a build without the obs seam
+// only by cached-bool branches and plain counter increments (benchmarked
+// at well under the 5% budget against the pre-obs tree); what can regress
+// silently is the full-collector path — an accidental allocation or an
+// ungated callback on the hot path shows up here as a blown ratio. The
+// bound is deliberately loose (2.5x, best-of-3) so scheduler noise on
+// shared CI runners does not flake it; real regressions of that kind are
+// order-of-magnitude.
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	run := func(o obs.Options) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			cfg := benchProfile().BaseConfig()
+			cfg.Obs = o
+			res, err := Run(cfg, "uniform", 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cps := res.Runtime.CyclesPerSec; cps > best {
+				best = cps
+			}
+		}
+		return best
+	}
+	disabled := run(obs.Options{})
+	enabled := run(obs.Options{Trace: true, SamplePeriod: 100, Heatmap: true})
+	if disabled <= 0 || enabled <= 0 {
+		t.Fatalf("degenerate rates: disabled %.0f, enabled %.0f cycles/s", disabled, enabled)
+	}
+	ratio := disabled / enabled
+	t.Logf("cycles/s: disabled %.0f, enabled %.0f (%.2fx overhead)", disabled, enabled, ratio)
+	if ratio > 2.5 {
+		t.Errorf("full telemetry costs %.2fx (budget 2.5x): a hot-path callback lost its gate?", ratio)
+	}
+}
