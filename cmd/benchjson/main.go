@@ -1,0 +1,215 @@
+// Command benchjson runs the repository's benchmark suite and writes the
+// results as machine-readable JSON: ns/op, B/op, allocs/op and every
+// custom b.ReportMetric unit of each benchmark, plus an engine reference
+// run reporting the simulator's cycles/s and flit-hops/s. CI runs it in
+// quick mode and uploads the file as an artifact, so performance history
+// is a download away rather than buried in job logs.
+//
+//	benchjson                           # full suite -> BENCH_<n>.json
+//	benchjson -bench 'Figure5|Table2' -benchtime 1x
+//	benchjson -o bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nocsim"
+	"nocsim/internal/exp"
+)
+
+// Report is the JSON document benchjson writes.
+type Report struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	BenchRegexp string  `json:"bench_regexp"`
+	BenchTime   string  `json:"bench_time"`
+	Engine      Engine  `json:"engine"`
+	Benchmarks  []Bench `json:"benchmarks"`
+}
+
+// Engine is a fixed reference run of the simulation engine (Table 2
+// baseline, uniform traffic at 0.3 flits/node/cycle, quick profile) —
+// the simulator's own speed, independent of benchmark iteration counts.
+type Engine struct {
+	Cycles         int64   `json:"cycles"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	FlitHops       int64   `json:"flit_hops"`
+	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapAllocs     uint64  `json:"heap_allocs"`
+}
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric units (satTP, latency
+	// cycles, cycles/s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration per benchmark)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("o", "", "output file (default: next free BENCH_<n>.json)")
+	skipEngine := flag.Bool("skip-engine", false, "skip the engine reference run")
+	flag.Parse()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		BenchRegexp: *bench,
+		BenchTime:   *benchtime,
+	}
+
+	if !*skipEngine {
+		cfg := exp.QuickProfile().BaseConfig()
+		res, err := nocsim.Run(cfg, "uniform", 0.3)
+		if err != nil {
+			fatal(err)
+		}
+		rt := res.Runtime
+		rep.Engine = Engine{
+			Cycles:         rt.Cycles,
+			WallSeconds:    rt.WallSeconds,
+			CyclesPerSec:   rt.CyclesPerSec,
+			FlitHops:       rt.FlitHops,
+			FlitHopsPerSec: rt.FlitHopsPerSec,
+			HeapAllocBytes: rt.HeapAllocBytes,
+			HeapAllocs:     rt.HeapAllocs,
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: engine reference %s\n", rt.String())
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkg)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	raw, err := io.ReadAll(io.TeeReader(stdout, os.Stderr))
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if b, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, *b)
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched %q", *bench))
+	}
+
+	path := *out
+	if path == "" {
+		path = nextBenchFile(".")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), path)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   3   123456 ns/op   4.5 custom-unit   67 B/op   8 allocs/op
+func parseBenchLine(line string) (*Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return nil, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix, keeping sub-benchmark slashes.
+	if i := strings.LastIndex(name, "-"); i > 0 && !strings.Contains(name[i:], "/") {
+		name = name[:i]
+	}
+	b := &Bench{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// benchFileRe matches previously written reports.
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextBenchFile returns BENCH_<n>.json for the smallest n greater than
+// every existing report in dir.
+func nextBenchFile(dir string) string {
+	next := 1
+	entries, err := os.ReadDir(dir)
+	if err == nil {
+		for _, e := range entries {
+			m := benchFileRe.FindStringSubmatch(e.Name())
+			if m == nil {
+				continue
+			}
+			if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+				next = n + 1
+			}
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"os"
 
+	"nocsim/internal/cli"
 	"nocsim/internal/exp"
 )
 
 func main() {
 	profile := flag.String("profile", "full", "effort level: full or quick")
 	tables := flag.Bool("tables", false, "print Table 1 and the cost analysis, skip the simulation")
+	lobs := cli.NewObs("ctree")
 	flag.Parse()
 
 	fmt.Println(exp.Table1().Format())
@@ -26,10 +28,14 @@ func main() {
 		return
 	}
 
+	lobs.Start()
+	defer lobs.Close()
+
 	prof := exp.FullProfile()
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	lobs.ApplyProfile(&prof)
 	study, err := exp.Figure2(prof, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctree:", err)

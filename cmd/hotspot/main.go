@@ -4,6 +4,7 @@
 //	hotspot
 //	hotspot -bg 0.3 -profile quick
 //	hotspot -flows        # print Table 3
+//	hotspot -obs-addr localhost:9090 -heatmap-out hot.csv
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"os"
 	"sort"
 
+	"nocsim/internal/cli"
 	"nocsim/internal/exp"
 	"nocsim/internal/traffic"
 )
@@ -20,6 +22,8 @@ func main() {
 	profile := flag.String("profile", "full", "effort level: full or quick")
 	bg := flag.Float64("bg", 0.3, "background injection rate (flits/node/cycle)")
 	flows := flag.Bool("flows", false, "print the Table 3 hotspot flows and exit")
+	lobs := cli.NewObs("hotspot")
+	export := cli.NewRunExport("hotspot")
 	flag.Parse()
 
 	if *flows {
@@ -36,14 +40,28 @@ func main() {
 		return
 	}
 
+	lobs.Start()
+	defer lobs.Close()
+
 	prof := exp.FullProfile()
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	lobs.ApplyProfile(&prof)
+	prof.Obs = export.Options()
+
 	study, err := exp.Figure9(prof, *bg, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotspot:", err)
 		os.Exit(1)
 	}
+	if export.Enabled() {
+		for alg, pts := range study.Curves {
+			for _, pt := range pts {
+				export.Write(fmt.Sprintf("%s-hot%.2f", alg, pt.Rate), pt.Result.Obs)
+			}
+		}
+	}
+	export.Report()
 	fmt.Println(study.Format())
 }

@@ -10,6 +10,8 @@
 //	nocsim -trace-out trace.json    # Perfetto-loadable lifecycle trace
 //	nocsim -heatmap-out links.csv   # measurement-window link heatmap
 //	nocsim -counters-out ts.csv -sample-period 100
+//	nocsim -obs-addr localhost:9090 # live /metrics, /status, /snapshot
+//	nocsim -watchdog-cycles 5000    # dump a fabric snapshot on stalls
 package main
 
 import (
@@ -17,10 +19,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
+	"nocsim/internal/cli"
 	"nocsim/internal/exp"
 	"nocsim/internal/flit"
 	"nocsim/internal/obs"
@@ -54,21 +55,16 @@ func main() {
 	countersOut := flag.String("counters-out", "", "write per-router/per-port counter time series as CSV to this file")
 	samplePeriod := flag.Int64("sample-period", 0, "counter sampling period in cycles (0 = off; implied 100 by -counters-out)")
 	heatmapOut := flag.String("heatmap-out", "", "write the measurement-window link heatmap as CSV to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	lobs := cli.NewObs("nocsim")
 	flag.Parse()
 
 	if *printConfig {
 		fmt.Print(exp.Table2(cfg))
 		return
 	}
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "nocsim: pprof:", err)
-			}
-		}()
-		fmt.Printf("pprof              http://%s/debug/pprof/\n", *pprofAddr)
-	}
+	lobs.Start()
+	defer lobs.Close()
+	lobs.ApplyConfig(&cfg)
 
 	if *countersOut != "" && *samplePeriod <= 0 {
 		*samplePeriod = 100

@@ -4,6 +4,7 @@
 //	scale
 //	scale -profile quick
 //	scale -sizes 4x4,8x8,16x16
+//	scale -obs-addr localhost:9090 -watchdog-cycles 5000
 package main
 
 import (
@@ -12,18 +13,24 @@ import (
 	"os"
 	"strings"
 
+	"nocsim/internal/cli"
 	"nocsim/internal/exp"
 )
 
 func main() {
 	profile := flag.String("profile", "full", "effort level: full or quick")
 	sizes := flag.String("sizes", "4x4,16x16", "comma-separated mesh sizes, e.g. 4x4,16x16")
+	lobs := cli.NewObs("scale")
 	flag.Parse()
+
+	lobs.Start()
+	defer lobs.Close()
 
 	prof := exp.FullProfile()
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	lobs.ApplyProfile(&prof)
 
 	var meshes [][2]int
 	for _, s := range strings.Split(*sizes, ",") {

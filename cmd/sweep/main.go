@@ -4,15 +4,16 @@
 //	sweep -figure 6                 # Figure 6: variable packet size
 //	sweep -figure 7                 # Figure 7: Footprint vs DBAR, VC sweep
 //	sweep -figure 5 -pattern shuffle -profile quick
+//	sweep -obs-addr localhost:9090  # live per-run progress while it runs
+//	sweep -counters-out ts.csv      # one counter CSV per (pattern,alg,rate)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
+	"nocsim/internal/cli"
 	"nocsim/internal/exp"
 )
 
@@ -20,22 +21,19 @@ func main() {
 	figure := flag.Int("figure", 5, "figure to regenerate (5, 6 or 7)")
 	pattern := flag.String("pattern", "", "restrict to one pattern (default: all three)")
 	profile := flag.String("profile", "full", "effort level: full or quick")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	lobs := cli.NewObs("sweep")
+	export := cli.NewRunExport("sweep")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "sweep: pprof:", err)
-			}
-		}()
-		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
-	}
+	lobs.Start()
+	defer lobs.Close()
 
 	prof := exp.FullProfile()
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	lobs.ApplyProfile(&prof)
+	prof.Obs = export.Options()
 
 	patterns := exp.SyntheticPatterns()
 	if *pattern != "" {
@@ -49,12 +47,14 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			exportCurves(export, cs)
 			fmt.Println(cs.Format())
 		case 6:
 			cs, err := exp.Figure6(prof, p)
 			if err != nil {
 				fatal(err)
 			}
+			exportCurves(export, cs)
 			fmt.Println(cs.Format())
 		case 7:
 			vs, err := exp.Figure7(prof, p, nil)
@@ -64,6 +64,21 @@ func main() {
 			fmt.Println(vs.Format())
 		default:
 			fatal(fmt.Errorf("unknown figure %d (want 5, 6 or 7)", *figure))
+		}
+	}
+	export.Report()
+}
+
+// exportCurves writes each run's collector files, suffixed with
+// pattern-algorithm-rate.
+func exportCurves(export *cli.RunExport, cs exp.CurveSet) {
+	if !export.Enabled() {
+		return
+	}
+	for _, c := range cs.Curves {
+		for _, pt := range c.Points {
+			id := fmt.Sprintf("%s-%s-%.2f", cs.Pattern, c.Algorithm, pt.Rate)
+			export.Write(id, pt.Result.Obs)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"nocsim/internal/cli"
 	"nocsim/internal/exp"
 	"nocsim/internal/topo"
 	"nocsim/internal/trace"
@@ -26,6 +27,7 @@ func main() {
 	cycles := flag.Int64("cycles", 20000, "trace length in cycles (with -gen)")
 	seed := flag.Int64("seed", 1, "trace generation seed (with -gen)")
 	out := flag.String("o", "", "output file (with -gen)")
+	lobs := cli.NewObs("traces")
 	flag.Parse()
 
 	if *gen != "" {
@@ -35,10 +37,14 @@ func main() {
 		return
 	}
 
+	lobs.Start()
+	defer lobs.Close()
+
 	prof := exp.FullProfile()
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	lobs.ApplyProfile(&prof)
 
 	var pairList [][2]string
 	if *pairs != "" {

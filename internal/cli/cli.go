@@ -1,0 +1,205 @@
+// Package cli carries the flag wiring shared by every command: the live
+// observability server (-obs-addr), the stall watchdog
+// (-watchdog-cycles, -watchdog-out), the pprof endpoint (-pprof), and
+// the per-run collector exports (-counters-out, -heatmap-out,
+// -sample-period) of the experiment harnesses.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nocsim/internal/exp"
+	"nocsim/internal/obs"
+	"nocsim/internal/sim"
+)
+
+// Obs is the shared observability flag set. Construct with NewObs before
+// flag.Parse, Start after.
+type Obs struct {
+	Tool           string
+	Addr           string
+	WatchdogCycles int64
+	WatchdogOut    string
+	PprofAddr      string
+
+	Hub    *obs.Hub
+	server *obs.Server
+}
+
+// NewObs registers -obs-addr, -watchdog-cycles, -watchdog-out and -pprof
+// on the default flag set. tool names the command in diagnostics.
+func NewObs(tool string) *Obs {
+	o := &Obs{Tool: tool}
+	flag.StringVar(&o.Addr, "obs-addr", "",
+		"serve live observability (/metrics, /status, /snapshot) on this address (e.g. localhost:9090)")
+	flag.Int64Var(&o.WatchdogCycles, "watchdog-cycles", 0,
+		"flag windows of this many cycles with in-flight packets but zero forward progress, dumping a fabric snapshot (0 = off)")
+	flag.StringVar(&o.WatchdogOut, "watchdog-out", "",
+		"stall snapshot JSON path (default nocsim-stall.json)")
+	flag.StringVar(&o.PprofAddr, "pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060)")
+	return o
+}
+
+// Start launches the servers the flags asked for: pprof on the default
+// mux and the observability endpoints on their own hub. Call after
+// flag.Parse; it returns the hub (nil when -obs-addr is unset).
+func (o *Obs) Start() *obs.Hub {
+	if o.PprofAddr != "" {
+		addr := o.PprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", o.Tool, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "%s: pprof http://%s/debug/pprof/\n", o.Tool, addr)
+	}
+	if o.Addr != "" {
+		o.Hub = obs.NewHub()
+		srv, err := obs.StartServer(o.Addr, o.Hub)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Tool, err)
+			os.Exit(1)
+		}
+		o.server = srv
+		fmt.Fprintf(os.Stderr, "%s: observability http://%s/metrics /status /snapshot\n", o.Tool, srv.Addr)
+	}
+	return o.Hub
+}
+
+// Close stops the observability server (the pprof goroutine dies with the
+// process).
+func (o *Obs) Close() {
+	if o.server != nil {
+		o.server.Close()
+	}
+}
+
+// ApplyProfile copies the monitoring and watchdog flags onto an
+// experiment profile.
+func (o *Obs) ApplyProfile(p *exp.Profile) {
+	p.Monitor = o.Hub
+	p.WatchdogCycles = o.WatchdogCycles
+	p.WatchdogOut = o.WatchdogOut
+}
+
+// ApplyConfig copies the monitoring and watchdog flags onto a single
+// simulation config.
+func (o *Obs) ApplyConfig(cfg *sim.Config) {
+	cfg.Monitor = o.Hub
+	cfg.WatchdogCycles = o.WatchdogCycles
+	cfg.WatchdogOut = o.WatchdogOut
+}
+
+// RunExport is the per-run collector flag set of the experiment
+// harnesses: each simulation of a sweep gets its own counter/heatmap
+// files, suffixed with the run's identity.
+type RunExport struct {
+	CountersOut  string
+	HeatmapOut   string
+	SamplePeriod int64
+
+	tool    string
+	written int
+}
+
+// NewRunExport registers -counters-out, -heatmap-out and -sample-period.
+func NewRunExport(tool string) *RunExport {
+	e := &RunExport{tool: tool}
+	flag.StringVar(&e.CountersOut, "counters-out", "",
+		"write per-router counter time series as CSV, one file per run, suffixed with the run identity")
+	flag.StringVar(&e.HeatmapOut, "heatmap-out", "",
+		"write measurement-window link heatmaps as CSV, one file per run, suffixed with the run identity")
+	flag.Int64Var(&e.SamplePeriod, "sample-period", 0,
+		"counter sampling period in cycles (0 = off; implied 100 by -counters-out)")
+	return e
+}
+
+// Options translates the flags into collector options for the profile.
+func (e *RunExport) Options() obs.Options {
+	period := e.SamplePeriod
+	if e.CountersOut != "" && period <= 0 {
+		period = 100
+	}
+	return obs.Options{
+		SamplePeriod: period,
+		Heatmap:      e.HeatmapOut != "",
+	}
+}
+
+// Enabled reports whether any per-run export was requested.
+func (e *RunExport) Enabled() bool {
+	return e.CountersOut != "" || e.HeatmapOut != ""
+}
+
+// Write exports one run's collector data under the configured base paths,
+// suffixed with the run identity (e.g. counters.csv ->
+// counters_uniform-footprint-0.30.csv).
+func (e *RunExport) Write(runID string, col *obs.Collector) {
+	if col == nil {
+		return
+	}
+	if e.CountersOut != "" && col.Sampler != nil {
+		e.writeFile(suffixPath(e.CountersOut, runID), col.Sampler.WriteCSV)
+	}
+	if e.HeatmapOut != "" && col.Heatmap != nil {
+		e.writeFile(suffixPath(e.HeatmapOut, runID), col.Heatmap.WriteCSV)
+	}
+}
+
+// Report prints how many files were written.
+func (e *RunExport) Report() {
+	if e.written > 0 {
+		fmt.Fprintf(os.Stderr, "%s: wrote %d per-run export files\n", e.tool, e.written)
+	}
+}
+
+func (e *RunExport) writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", e.tool, err)
+		return
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "%s: write %s: %v\n", e.tool, path, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: close %s: %v\n", e.tool, path, err)
+		return
+	}
+	e.written++
+}
+
+// suffixPath inserts _id before the extension: base.csv -> base_id.csv.
+func suffixPath(base, id string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "_" + Slug(id) + ext
+}
+
+// Slug reduces a run identity to a filename-safe token.
+func Slug(s string) string {
+	var b strings.Builder
+	lastDash := true // trims leading dashes
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}

@@ -49,6 +49,7 @@ func Figure2(p Profile, algorithms []string) (TreeStudy, error) {
 		cfg.Width, cfg.Height = 4, 4
 		cfg.VCs = 4
 		cfg.Algorithm = alg
+		cfg.RunLabel = "Figure 2 " + alg
 
 		flows := traffic.Permutation{Label: "sec2", Flows: map[int]int{
 			0: 10, 1: 15, 4: 13, 12: 13,

@@ -118,12 +118,16 @@ func Figure6(p Profile, pattern string) (CurveSet, error) {
 func curveSet(p Profile, figure, pattern string, size traffic.SizeFn, algs []string) (CurveSet, error) {
 	crit := sim.DefaultCriterion()
 	cs := CurveSet{Figure: figure, Pattern: pattern}
+	if p.Monitor != nil {
+		p.Monitor.AddPlan(len(algs) * len(p.Rates))
+	}
 	for _, alg := range algs {
 		cfg := p.BaseConfig()
 		cfg.Algorithm = alg
 		var pts []sim.SweepPoint
 		var zero float64
 		saturated := 0
+		cfg.RunLabel = fmt.Sprintf("%s %s/%s", figure, pattern, alg)
 		for _, rate := range p.Rates {
 			sub, err := sim.LatencyThroughput(cfg, pattern, size, []float64{rate})
 			if err != nil {
@@ -143,6 +147,11 @@ func curveSet(p Profile, figure, pattern string, size traffic.SizeFn, algs []str
 			} else {
 				saturated = 0
 			}
+		}
+		if p.Monitor != nil && len(pts) < len(p.Rates) {
+			// The early-exit trimmed this curve; the skipped rates will
+			// never run, so shrink the plan to keep grid progress honest.
+			p.Monitor.AddPlan(len(pts) - len(p.Rates))
 		}
 		cs.Curves = append(cs.Curves, Curve{Algorithm: alg, Points: pts})
 	}
@@ -188,6 +197,7 @@ func Figure7(p Profile, pattern string, vcCounts []int) (VCSweep, error) {
 			cfg := p.BaseConfig()
 			cfg.Algorithm = alg
 			cfg.VCs = vcs
+			cfg.RunLabel = fmt.Sprintf("Figure 7 %s/%s vcs=%d", pattern, alg, vcs)
 			sr, err := sim.SaturationThroughput(cfg, pattern, traffic.FixedSize(1), p.Tol)
 			if err != nil {
 				return VCSweep{}, err
@@ -239,6 +249,7 @@ func Figure8(p Profile, sizes [][2]int) (ScaleStudy, error) {
 				cfg := p.BaseConfig()
 				cfg.Algorithm = alg
 				cfg.Width, cfg.Height = wh[0], wh[1]
+				cfg.RunLabel = fmt.Sprintf("Figure 8 %s/%s %dx%d", pattern, alg, wh[0], wh[1])
 				sr, err := sim.SaturationThroughput(cfg, pattern, traffic.FixedSize(1), p.Tol)
 				if err != nil {
 					return ScaleStudy{}, err
@@ -284,9 +295,13 @@ func Figure9(p Profile, bgRate float64, rates []float64) (HotspotStudy, error) {
 		rates = rateGrid(0.05, 0.65, 0.05)
 	}
 	out := HotspotStudy{BackgroundRate: bgRate, Rates: rates, Curves: map[string][]sim.HotspotPoint{}}
+	if p.Monitor != nil {
+		p.Monitor.AddPlan(2 * len(rates))
+	}
 	for _, alg := range []string{"footprint", "dbar"} {
 		cfg := p.BaseConfig()
 		cfg.Algorithm = alg
+		cfg.RunLabel = fmt.Sprintf("Figure 9 %s bg=%.2f", alg, bgRate)
 		pts, err := sim.HotspotCurve(cfg, bgRate, rates)
 		if err != nil {
 			return HotspotStudy{}, err

@@ -5,7 +5,10 @@
 // series the paper reports.
 package exp
 
-import "nocsim/internal/sim"
+import (
+	"nocsim/internal/obs"
+	"nocsim/internal/sim"
+)
 
 // Profile sets the simulation effort of an experiment. Full approximates
 // the paper's methodology; Quick is for benchmarks, smoke tests and
@@ -22,6 +25,20 @@ type Profile struct {
 	Tol float64
 	// TraceCycles bounds generated trace length for Figure 10.
 	TraceCycles int64
+
+	// Obs selects per-run observability collectors (counter sampler,
+	// heatmap, tracer) attached to every simulation of the experiment;
+	// each Result carries its collector back for per-run export.
+	Obs obs.Options
+	// Monitor, when non-nil, aggregates every run's live progress for
+	// the /metrics and /status endpoints, so a whole figure's grid of
+	// runs is visible while it executes.
+	Monitor *obs.Hub
+	// WatchdogCycles arms the per-run stall watchdog (see
+	// sim.Config.WatchdogCycles); WatchdogOut overrides the stall
+	// snapshot path.
+	WatchdogCycles int64
+	WatchdogOut    string
 }
 
 // FullProfile is the publication-quality effort level.
@@ -60,11 +77,16 @@ func rateGrid(lo, hi, step float64) []float64 {
 	return out
 }
 
-// apply copies the profile's phase lengths onto a simulation config.
+// apply copies the profile's phase lengths and observability wiring onto
+// a simulation config.
 func (p Profile) apply(cfg sim.Config) sim.Config {
 	cfg.WarmupCycles = p.Warmup
 	cfg.MeasureCycles = p.Measure
 	cfg.DrainCycles = p.Drain
+	cfg.Obs = p.Obs
+	cfg.Monitor = p.Monitor
+	cfg.WatchdogCycles = p.WatchdogCycles
+	cfg.WatchdogOut = p.WatchdogOut
 	return cfg
 }
 

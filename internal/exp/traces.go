@@ -63,6 +63,11 @@ func RunTracePair(p Profile, alg, a, b string, seed int64) (*sim.Result, error) 
 	}
 	cfg := p.BaseConfig()
 	cfg.Algorithm = alg
+	if b != "" {
+		cfg.RunLabel = fmt.Sprintf("Figure 10 %s+%s/%s", a, b, alg)
+	} else {
+		cfg.RunLabel = fmt.Sprintf("Figure 10 %s/%s", a, alg)
+	}
 	mesh := cfg.Mesh()
 	ta := trace.Generate(wa, mesh, p.TraceCycles, seed)
 	var merged []trace.Record

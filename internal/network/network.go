@@ -120,6 +120,9 @@ func (n *Network) DownstreamIdle(node int, d topo.Direction, dest int) int {
 // Now returns the current cycle.
 func (n *Network) Now() int64 { return n.now }
 
+// Mesh returns the fabric's topology.
+func (n *Network) Mesh() topo.Mesh { return n.cfg.Mesh }
+
 // Router returns the router of node id, for analyzers.
 func (n *Network) Router(id int) *router.Router { return n.routers[id] }
 

@@ -1,17 +1,22 @@
-package network
+// Package network_test exercises the fabric from outside: it lives in an
+// external test package so it can use internal/obs (which itself imports
+// network) for watchdog-backed drain diagnostics.
+package network_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"nocsim/internal/flit"
+	"nocsim/internal/network"
+	"nocsim/internal/obs"
 	"nocsim/internal/routing"
 	"nocsim/internal/topo"
 )
 
-func newNet(t *testing.T, w, h int, alg string, vcs int) *Network {
+func newNet(t *testing.T, w, h int, alg string, vcs int) *network.Network {
 	t.Helper()
-	return New(Config{
+	return network.New(network.Config{
 		Mesh:     topo.MustNew(w, h),
 		VCs:      vcs,
 		BufDepth: 4,
@@ -19,6 +24,29 @@ func newNet(t *testing.T, w, h int, alg string, vcs int) *Network {
 		NewAlg:   func() routing.Algorithm { return routing.MustNew(alg) },
 		Rand:     rand.New(rand.NewSource(1)),
 	})
+}
+
+// drainOrDiagnose steps the network until it empties or budget cycles
+// pass, watching for stalls with the obs watchdog. Instead of a bare
+// "packets stuck (deadlock?)", a failed drain reports the fabric
+// snapshot's blocked-on chains — which VC is waiting on which, and where
+// the chain ends.
+func drainOrDiagnose(t *testing.T, n *network.Network, budget int) {
+	t.Helper()
+	const beat = 100
+	wd := obs.NewWatchdog(2000, func() *obs.FabricSnapshot { return obs.Capture(n) })
+	for i := 0; i < budget && n.InFlight() > 0; i++ {
+		if i%beat == 0 {
+			if rep := wd.Beat(n.Now(), n.InFlight(), n.TotalOutputFlits()); rep != nil {
+				t.Fatalf("drain stalled:\n%s", rep.Summary())
+			}
+		}
+		n.Step()
+	}
+	if n.InFlight() > 0 {
+		t.Fatalf("%d packets still in flight after %d-cycle drain budget:\n%s",
+			n.InFlight(), budget, obs.Capture(n).Summary())
+	}
 }
 
 func TestSinglePacketDelivery(t *testing.T) {
@@ -110,13 +138,7 @@ func TestRandomTrafficAllAlgorithms(t *testing.T) {
 				}
 				n.Step()
 			}
-			// Drain.
-			for i := 0; i < 20000 && n.InFlight() > 0; i++ {
-				n.Step()
-			}
-			if n.InFlight() != 0 {
-				t.Fatalf("%d packets stuck after drain (deadlock?)", n.InFlight())
-			}
+			drainOrDiagnose(t, n, 20000)
 			if delivered != offered {
 				t.Errorf("delivered %d of %d", delivered, offered)
 			}
@@ -172,12 +194,7 @@ func TestEndpointOversubscription(t *testing.T) {
 		}
 		n.Step()
 	}
-	for i := 0; i < 100000 && n.InFlight() > 0; i++ {
-		n.Step()
-	}
-	if n.InFlight() != 0 {
-		t.Fatalf("%d packets stuck", n.InFlight())
-	}
+	drainOrDiagnose(t, n, 100000)
 	if delivered != offered {
 		t.Errorf("delivered %d of %d", delivered, offered)
 	}
@@ -282,12 +299,7 @@ func TestVOQSWDeliversEverything(t *testing.T) {
 				}
 				n.Step()
 			}
-			for i := 0; i < 30000 && n.InFlight() > 0; i++ {
-				n.Step()
-			}
-			if n.InFlight() != 0 {
-				t.Fatalf("%d packets stuck under %s", n.InFlight(), alg)
-			}
+			drainOrDiagnose(t, n, 30000)
 			if delivered != offered {
 				t.Errorf("delivered %d of %d", delivered, offered)
 			}
@@ -298,7 +310,7 @@ func TestVOQSWDeliversEverything(t *testing.T) {
 // TestSlowEndpointNetworkLossless verifies the slow-endpoint feature does
 // not lose or duplicate packets at the fabric level.
 func TestSlowEndpointNetworkLossless(t *testing.T) {
-	n := New(Config{
+	n := network.New(network.Config{
 		Mesh:     topo.MustNew(4, 4),
 		VCs:      4,
 		BufDepth: 4,

@@ -1,0 +1,168 @@
+package obs_test
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nocsim/internal/obs"
+	"nocsim/internal/sim"
+	"nocsim/internal/traffic"
+)
+
+func TestPromWriterLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := obs.NewPromWriter(&buf)
+	p.Family("m_total", "help with \\ backslash\nand newline", "counter")
+	p.Sample("m_total", []obs.PromLabel{{Name: "run", Value: "we\"ird\\label\nnl"}}, 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP m_total help with \\ backslash\nand newline`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `run="we\"ird\\label\nnl"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("raw newline leaked into exposition:\n%q", out)
+	}
+}
+
+func TestPromWriterRejectsDuplicateFamily(t *testing.T) {
+	p := obs.NewPromWriter(&bytes.Buffer{})
+	p.Family("m", "a", "gauge")
+	p.Family("m", "b", "gauge")
+	if p.Err() == nil {
+		t.Error("duplicate family not rejected")
+	}
+}
+
+func TestPromWriterRejectsUndeclaredSample(t *testing.T) {
+	p := obs.NewPromWriter(&bytes.Buffer{})
+	p.Sample("never_declared", nil, 1)
+	if p.Err() == nil {
+		t.Error("sample without HELP/TYPE header not rejected")
+	}
+}
+
+func TestPromWriterValueFormats(t *testing.T) {
+	var buf bytes.Buffer
+	p := obs.NewPromWriter(&buf)
+	p.Family("m", "values", "gauge")
+	p.Sample("m", []obs.PromLabel{{Name: "k", Value: "nan"}}, math.NaN())
+	p.Sample("m", []obs.PromLabel{{Name: "k", Value: "inf"}}, math.Inf(1))
+	p.Sample("m", []obs.PromLabel{{Name: "k", Value: "int"}}, 42)
+	p.Sample("m", []obs.PromLabel{{Name: "k", Value: "frac"}}, 0.125)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "nan") {
+		t.Errorf("NaN sample should be skipped:\n%s", out)
+	}
+	for _, want := range []string{`m{k="inf"} +Inf`, `m{k="int"} 42`, `m{k="frac"} 0.125`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+	promLabelsRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*")*$`)
+)
+
+// TestMetricsExpositionLint renders a live hub's /metrics payload and
+// lints it against the text exposition format: every sample belongs to a
+// family declared by exactly one # HELP and one # TYPE line (HELP first),
+// label syntax is well-formed, and every value parses.
+func TestMetricsExpositionLint(t *testing.T) {
+	hub := obs.NewHub()
+	hub.AddPlan(1)
+	cfg := sim.DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.VCs = 4
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 300
+	cfg.DrainCycles = 2000
+	cfg.Monitor = hub
+	cfg.RunLabel = `lint "run" with\specials` // exercised through label escaping
+	gen := &traffic.Generator{
+		Pattern: traffic.Uniform{Nodes: 16},
+		Rate:    0.2,
+		Size:    traffic.FixedSize(1),
+	}
+	s := sim.MustNew(cfg, gen)
+	res := s.Run()
+	if res.Stalled {
+		t.Fatal("benign run flagged as stalled")
+	}
+
+	var buf bytes.Buffer
+	if err := hub.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	samples := 0
+	for i, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !promNameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: malformed HELP %q", i+1, line)
+			}
+			if helped[parts[0]] {
+				t.Fatalf("line %d: duplicate HELP for %s", i+1, parts[0])
+			}
+			helped[parts[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || (parts[1] != "gauge" && parts[1] != "counter") {
+				t.Fatalf("line %d: malformed TYPE %q", i+1, line)
+			}
+			if !helped[parts[0]] {
+				t.Fatalf("line %d: TYPE before HELP for %s", i+1, parts[0])
+			}
+			if typed[parts[0]] {
+				t.Fatalf("line %d: duplicate TYPE for %s", i+1, parts[0])
+			}
+			typed[parts[0]] = true
+		default:
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample %q", i+1, line)
+			}
+			if !typed[m[1]] {
+				t.Fatalf("line %d: sample for undeclared family %s", i+1, m[1])
+			}
+			if m[2] != "" && !promLabelsRe.MatchString(m[2]) {
+				t.Fatalf("line %d: malformed labels %q", i+1, m[2])
+			}
+			if v := m[3]; v != "+Inf" && v != "-Inf" {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					t.Fatalf("line %d: unparsable value %q", i+1, v)
+				}
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		t.Fatal("exposition carried no samples")
+	}
+	for _, want := range []string{
+		"nocsim_runs_completed_total", "nocsim_cycles_total",
+		"nocsim_router_buffer_occupancy", "nocsim_router_link_flits_total",
+	} {
+		if !typed[want] {
+			t.Errorf("family %s missing from exposition", want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Server is the embedded live-observability HTTP server: /metrics in
+// Prometheus text exposition format, /status as JSON run progress, and
+// /snapshot as an on-demand structured fabric dump. It is stdlib-only;
+// every payload is rendered by hand from the Hub's published state, so
+// serving never touches the simulation's data structures directly.
+type Server struct {
+	Hub  *Hub
+	Addr string // the bound address (resolves ":0" requests)
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// snapshotTimeout bounds how long /snapshot waits for the stepping
+// goroutine's next heartbeat before falling back to the latest dump.
+const snapshotTimeout = 3 * time.Second
+
+// Handler returns the server's routes; tests drive it via httptest.
+func Handler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := h.WriteMetrics(w); err != nil {
+			// Headers are out; all we can do is log.
+			fmt.Fprintln(os.Stderr, "obs: /metrics:", err)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := h.WriteStatus(w); err != nil {
+			fmt.Fprintln(os.Stderr, "obs: /status:", err)
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap := h.RequestSnapshot(snapshotTimeout)
+		if snap == nil {
+			http.Error(w, "no fabric snapshot available yet (no simulation heartbeat seen)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "obs: /snapshot:", err)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "nocsim live observability\n\n  /metrics   Prometheus text exposition\n  /status    JSON run + sweep progress\n  /snapshot  on-demand structured fabric dump")
+	})
+	return mux
+}
+
+// StartServer binds addr (e.g. "localhost:9090") and serves the hub's
+// endpoints in a background goroutine until Close.
+func StartServer(addr string, h *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Hub:  h,
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(h)},
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "obs: server:", err)
+		}
+	}()
+	return s, nil
+}
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

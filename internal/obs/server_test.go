@@ -1,0 +1,182 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"nocsim/internal/obs"
+	"nocsim/internal/sim"
+	"nocsim/internal/traffic"
+)
+
+// monitoredSim builds a small uniform-traffic simulation publishing into
+// hub, to be stepped manually between scrapes.
+func monitoredSim(t *testing.T, hub *obs.Hub) *sim.Simulation {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.VCs = 4
+	cfg.Monitor = hub
+	cfg.RunLabel = "server-test"
+	gen := &traffic.Generator{
+		Pattern: traffic.Uniform{Nodes: 16},
+		Rate:    0.3,
+		Size:    traffic.FixedSize(1),
+	}
+	return sim.MustNew(cfg, gen)
+}
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// metricValue extracts the first sample value of family name.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + name + `(?:\{[^}]*\})? (\S+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// TestServerLiveScrapes drives a simulation between two /metrics scrapes
+// and checks the gauges move — the "is it alive" property the endpoints
+// exist for — then exercises /status and /snapshot against the same hub.
+func TestServerLiveScrapes(t *testing.T) {
+	hub := obs.NewHub()
+	ts := httptest.NewServer(obs.Handler(hub))
+	defer ts.Close()
+	s := monitoredSim(t, hub)
+
+	// Two heartbeats' worth of cycles (beat period 128).
+	for i := 0; i < 260; i++ {
+		s.Step()
+	}
+	code, body1, ctype := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ctype != want {
+		t.Errorf("/metrics content type %q, want %q", ctype, want)
+	}
+	cycles1 := metricValue(t, body1, "nocsim_cycles_total")
+	hops1 := metricValue(t, body1, "nocsim_flit_hops_total")
+	if cycles1 == 0 || hops1 == 0 {
+		t.Fatalf("no progress visible after 260 cycles: cycles=%v hops=%v", cycles1, hops1)
+	}
+
+	for i := 0; i < 512; i++ {
+		s.Step()
+	}
+	_, body2, _ := get(t, ts.URL+"/metrics")
+	cycles2 := metricValue(t, body2, "nocsim_cycles_total")
+	hops2 := metricValue(t, body2, "nocsim_flit_hops_total")
+	if cycles2 <= cycles1 || hops2 <= hops1 {
+		t.Errorf("gauges frozen between scrapes: cycles %v -> %v, hops %v -> %v",
+			cycles1, cycles2, hops1, hops2)
+	}
+	if inflight := metricValue(t, body2, "nocsim_packets_in_flight"); inflight < 0 {
+		t.Errorf("negative in-flight gauge %v", inflight)
+	}
+
+	// /status carries the run, its label and live progress.
+	code, body, ctype := get(t, ts.URL+"/status")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/status status %d type %q", code, ctype)
+	}
+	var st obs.StatusReport
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v", err)
+	}
+	if st.Active != 1 || len(st.Runs) != 1 {
+		t.Fatalf("status runs = %+v", st)
+	}
+	run := st.Runs[0]
+	if run.Label != "server-test" || run.Cycle == 0 || run.InFlight < 0 {
+		t.Errorf("run status = %+v", run)
+	}
+
+	// /snapshot serves the latest published fabric dump.
+	hub.PublishSnapshot(obs.Capture(s.Network()))
+	code, body, ctype = get(t, ts.URL+"/snapshot")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/snapshot status %d type %q", code, ctype)
+	}
+	var snap obs.FabricSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Width != 4 || snap.Height != 4 || len(snap.Routers) != 16 {
+		t.Errorf("snapshot = %dx%d with %d routers", snap.Width, snap.Height, len(snap.Routers))
+	}
+
+	// Index and 404.
+	if code, body, _ := get(t, ts.URL+"/"); code != http.StatusOK || body == "" {
+		t.Errorf("index status %d", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestSnapshotRequestAnsweredByHeartbeat checks the /snapshot handshake:
+// a pending request is fulfilled by the stepping goroutine's next beat.
+func TestSnapshotRequestAnsweredByHeartbeat(t *testing.T) {
+	hub := obs.NewHub()
+	s := monitoredSim(t, hub)
+	for i := 0; i < 130; i++ {
+		s.Step()
+	}
+	done := make(chan *obs.FabricSnapshot, 1)
+	go func() { done <- hub.RequestSnapshot(10e9) }()
+	// Step until the pending request is answered at a heartbeat.
+	for i := 0; i < 4096; i++ {
+		s.Step()
+		select {
+		case snap := <-done:
+			if snap == nil {
+				t.Error("RequestSnapshot returned nil despite heartbeat")
+			}
+			return
+		default:
+		}
+	}
+	t.Fatal("snapshot request never answered by the heartbeat")
+}
+
+func TestStartServerBindsAndServes(t *testing.T) {
+	hub := obs.NewHub()
+	srv, err := obs.StartServer("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body, _ := get(t, "http://"+srv.Addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if v := metricValue(t, body, "nocsim_runs_active"); v != 0 {
+		t.Errorf("idle hub reports %v active runs", v)
+	}
+}

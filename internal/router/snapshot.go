@@ -1,0 +1,102 @@
+package router
+
+import (
+	"nocsim/internal/topo"
+)
+
+// Input VC states as exported by InputVCSnapshot. These mirror the
+// internal vcIdle/vcRouting/vcActive state machine.
+const (
+	VCStateIdle    = "idle"
+	VCStateRouting = "routing"
+	VCStateActive  = "active"
+)
+
+// InVCState is the externally visible state of one input virtual channel,
+// captured for fabric snapshots and stall post-mortems.
+type InVCState struct {
+	// State is one of VCStateIdle, VCStateRouting, VCStateActive.
+	State string
+	// Buffered is the number of flits in the VC's buffer.
+	Buffered int
+	// PacketID and PacketDest describe the packet at the front of the
+	// buffer (PacketDest is -1 when the buffer is empty).
+	PacketID   uint64
+	PacketDest int
+	// Blocked is the number of consecutive cycles the head packet has
+	// failed VC allocation (routing state only).
+	Blocked int64
+	// OutDir and OutVC are the granted output VC (active state only).
+	OutDir topo.Direction
+	OutVC  int
+	// ReqDir is the output port the head packet's adaptive requests
+	// targeted most recently; meaningful only when Routed is true
+	// (routing state, after route computation).
+	ReqDir topo.Direction
+	Routed bool
+}
+
+// InputVCSnapshot exports the live state of input VC (d, v).
+func (r *Router) InputVCSnapshot(d topo.Direction, v int) InVCState {
+	iv := &r.in[d][v]
+	st := InVCState{
+		Buffered:   len(iv.buf),
+		PacketDest: -1,
+	}
+	switch iv.state {
+	case vcIdle:
+		st.State = VCStateIdle
+	case vcRouting:
+		st.State = VCStateRouting
+		st.Blocked = iv.blocked
+		st.Routed = iv.routed
+		if iv.routed {
+			st.ReqDir = r.reqPort[r.resIndex(d, v)]
+		}
+	case vcActive:
+		st.State = VCStateActive
+		st.OutDir = iv.outDir
+		st.OutVC = iv.outVC
+	}
+	if f := iv.front(); f != nil {
+		st.PacketID = f.Packet.ID
+		st.PacketDest = f.Packet.Dest
+	}
+	return st
+}
+
+// OutVCState is the externally visible state of one output virtual
+// channel: allocation, flow control and footprint registers.
+type OutVCState struct {
+	Allocated bool
+	Credits   int
+	// Owner is the live footprint owner (destination of the packets in
+	// the downstream buffer, -1 when drained); RegOwner is the persistent
+	// footprint register of Section 4.4.
+	Owner    int
+	RegOwner int
+	// AwaitTailCredit marks a VC blocked from reallocation until its tail
+	// credit returns (Duato-style conservative reallocation).
+	AwaitTailCredit bool
+}
+
+// OutputVCSnapshot exports the live state of output VC (d, v).
+func (r *Router) OutputVCSnapshot(d topo.Direction, v int) OutVCState {
+	ov := &r.out[d].vcs[v]
+	return OutVCState{
+		Allocated:       ov.allocated,
+		Credits:         ov.credits,
+		Owner:           ov.owner,
+		RegOwner:        ov.regOwner,
+		AwaitTailCredit: ov.awaitTailCredit,
+	}
+}
+
+// BufDepth returns the per-VC buffer depth the router was built with; a
+// full-credit, unallocated output VC is idle.
+func (r *Router) BufDepth() int { return r.cfg.BufDepth }
+
+// EjectionBacklog returns the number of flits buffered in the endpoint's
+// ejection unit for VC v — the terminal link of an endpoint-congestion
+// blocking chain.
+func (e *Endpoint) EjectionBacklog(v int) int { return len(e.ejBuf[v]) }

@@ -45,6 +45,22 @@ type Config struct {
 	// counter sampler, link heatmap) attached to the run. The zero value
 	// disables them all; see Simulation.Observability.
 	Obs obs.Options
+	// Monitor, when non-nil, receives the run's live progress: phase,
+	// percent complete, in-flight packets, accepted rate and per-router
+	// gauges, published on a heartbeat cadence for the /metrics and
+	// /status endpoints. Runs sharing one hub (a sweep) aggregate there.
+	Monitor *obs.Hub
+	// RunLabel names the run in the monitor's output; defaults to the
+	// algorithm name.
+	RunLabel string
+	// WatchdogCycles, when > 0, arms the stall watchdog: a window of
+	// that many cycles with packets in flight but zero forward progress
+	// captures a fabric snapshot (written to WatchdogOut) and summarizes
+	// it to stderr.
+	WatchdogCycles int64
+	// WatchdogOut is the stall snapshot JSON path (default
+	// "nocsim-stall.json").
+	WatchdogOut string
 
 	// WarmupCycles run before measurement starts.
 	WarmupCycles int64
@@ -92,6 +108,9 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 || c.DrainCycles < 0 {
 		return fmt.Errorf("sim: invalid phase lengths")
+	}
+	if c.WatchdogCycles < 0 {
+		return fmt.Errorf("sim: negative watchdog window %d", c.WatchdogCycles)
 	}
 	return nil
 }

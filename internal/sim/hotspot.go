@@ -39,7 +39,15 @@ func HotspotCurve(cfg Config, bgRate float64, hotspotRates []float64) ([]Hotspot
 	}
 
 	var points []HotspotPoint
+	baseLabel := cfg.RunLabel
 	for _, rate := range hotspotRates {
+		if cfg.Monitor != nil {
+			base := baseLabel
+			if base == "" {
+				base = cfg.Algorithm
+			}
+			cfg.RunLabel = fmt.Sprintf("%s hot=%.2f", base, rate)
+		}
 		hot := &traffic.Generator{
 			Nodes:   sources,
 			Pattern: flows,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
@@ -50,6 +51,12 @@ type Result struct {
 	// Runtime reports the simulator's own performance over the whole run
 	// (warmup + measurement + drain).
 	Runtime RuntimeStats
+	// Stalled reports that the run's watchdog flagged at least one
+	// zero-progress window (see Config.WatchdogCycles).
+	Stalled bool
+	// Obs is the run's observability collector (nil when Config.Obs is
+	// disabled); experiment harnesses export its data per run.
+	Obs *obs.Collector
 }
 
 // RuntimeStats are the simulator's self-metrics: how fast the host
@@ -124,6 +131,18 @@ type Simulation struct {
 	offeredFlits    int64 // flits offered during the measurement window
 	ejectedFlits    int64 // flits ejected during the measurement window
 
+	// Live-observability state: the heartbeat (every beatEvery cycles,
+	// 0 = off) feeds the watchdog and publishes progress to the hub.
+	beatEvery     int64
+	runh          *obs.RunHandle
+	wd            *obs.Watchdog
+	phase         string
+	runStartCycle int64
+	wallStart     time.Time
+	totalOffered  int64 // whole-run offered flits
+	totalEjected  int64 // whole-run ejected flits
+	stalled       bool
+
 	latency map[flit.Class]*stats.Summary
 	hist    *stats.Histogram
 
@@ -175,6 +194,18 @@ func New(cfg Config, gens ...Injector) (*Simulation, error) {
 		SlowEndpoints: cfg.SlowEndpoints,
 	})
 	s.net.Sink = s.onEject
+	if cfg.Monitor != nil || cfg.WatchdogCycles > 0 {
+		s.beatEvery = 128
+		if cfg.WatchdogCycles > 0 && cfg.WatchdogCycles/4 < s.beatEvery {
+			s.beatEvery = max(1, cfg.WatchdogCycles/4)
+		}
+	}
+	if cfg.WatchdogCycles > 0 {
+		s.wd = obs.NewWatchdog(cfg.WatchdogCycles, func() *obs.FabricSnapshot {
+			return obs.Capture(s.net)
+		})
+	}
+	s.phase = "manual" // replaced by Run's phase bookkeeping
 	mesh := cfg.Mesh()
 	for _, g := range gens {
 		g.Init(mesh, rng)
@@ -220,6 +251,7 @@ func (s *Simulation) onEject(p *flit.Packet) {
 	if s.measuring && s.net.Now() >= s.measStart && s.net.Now() < s.measEnd {
 		s.ejectedFlits += int64(p.Size)
 	}
+	s.totalEjected += int64(p.Size)
 	for _, obs := range s.observers {
 		obs.OnEject(p)
 	}
@@ -244,6 +276,9 @@ func (s *Simulation) step() {
 	if s.col != nil {
 		s.col.Tick(now, s.net)
 	}
+	if s.beatEvery > 0 && now%s.beatEvery == 0 {
+		s.heartbeat(now)
+	}
 	for _, g := range s.gens {
 		g.Tick(now, func(p *flit.Packet) {
 			s.nextID++
@@ -252,10 +287,85 @@ func (s *Simulation) step() {
 				s.measured++
 				s.offeredFlits += int64(p.Size)
 			}
+			s.totalOffered += int64(p.Size)
 			s.net.Offer(p)
 		})
 	}
 	s.net.Step()
+}
+
+// heartbeat feeds the stall watchdog and publishes live progress to the
+// monitoring hub. It runs every beatEvery cycles, so its per-call cost
+// (a few hundred counter reads) amortizes to noise.
+func (s *Simulation) heartbeat(now int64) {
+	inFlight := s.net.InFlight()
+	work := s.net.TotalOutputFlits()
+	if s.wd != nil {
+		if rep := s.wd.Beat(now, inFlight, work); rep != nil {
+			s.stalled = true
+			path := s.cfg.WatchdogOut
+			if path == "" {
+				path = "nocsim-stall.json"
+			}
+			if err := rep.Dump(path); err != nil {
+				fmt.Fprintln(os.Stderr, "sim: watchdog dump:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sim: watchdog snapshot written to %s\n", path)
+			}
+			fmt.Fprintln(os.Stderr, rep.Summary())
+			if s.cfg.Monitor != nil {
+				s.cfg.Monitor.ReportStall(rep)
+				s.runh.MarkStalled()
+			}
+		}
+	}
+	hub := s.cfg.Monitor
+	if hub == nil {
+		return
+	}
+	if s.runh == nil {
+		// Manually-stepped simulations (congestion-tree analyzers) never
+		// enter Run; register them on the first beat so they still show
+		// up in /status.
+		label := s.cfg.RunLabel
+		if label == "" {
+			label = s.cfg.Algorithm
+		}
+		total := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
+		s.runh = hub.StartRun(label, s.cfg.Algorithm, total)
+	}
+	if s.wallStart.IsZero() {
+		s.wallStart = time.Now()
+		s.runStartCycle = now
+	}
+	u := obs.RunUpdate{
+		Phase:        s.phase,
+		Cycle:        now - s.runStartCycle,
+		InFlight:     inFlight,
+		OfferedFlits: s.totalOffered,
+		EjectedFlits: s.totalEjected,
+		FlitHops:     work,
+	}
+	if wall := time.Since(s.wallStart).Seconds(); wall > 0 {
+		u.CyclesPerSec = float64(now-s.runStartCycle) / wall
+	}
+	if s.measuring && now > s.measStart {
+		end := now
+		if end > s.measEnd {
+			end = s.measEnd
+		}
+		cycles := float64(end - s.measStart)
+		u.AcceptedRate = float64(s.ejectedFlits) / float64(s.cfg.Mesh().Nodes()) / cycles
+	}
+	if s.hist.N() > 0 {
+		u.LatencyP50 = s.hist.Quantile(0.5)
+		u.LatencyP99 = s.hist.Quantile(0.99)
+	}
+	s.runh.Update(u)
+	hub.PublishGauges(now, s.net)
+	if hub.SnapshotWanted() {
+		hub.PublishSnapshot(obs.Capture(s.net))
+	}
 }
 
 // Run executes warmup, measurement and drain, returning the aggregated
@@ -266,6 +376,17 @@ func (s *Simulation) Run() *Result {
 	wall0 := time.Now()
 	startCycle := s.net.Now()
 
+	if s.cfg.Monitor != nil {
+		label := s.cfg.RunLabel
+		if label == "" {
+			label = s.cfg.Algorithm
+		}
+		total := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainCycles
+		s.runh = s.cfg.Monitor.StartRun(label, s.cfg.Algorithm, total)
+		s.wallStart = wall0
+		s.runStartCycle = startCycle
+	}
+	s.phase = "warmup"
 	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
 		s.step()
 	}
@@ -277,6 +398,7 @@ func (s *Simulation) Run() *Result {
 	if s.col != nil {
 		s.col.OpenWindow(s.net, s.cfg.Mesh(), s.measStart, s.measEnd)
 	}
+	s.phase = "measure"
 	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
 		s.step()
 	}
@@ -287,10 +409,13 @@ func (s *Simulation) Run() *Result {
 	// Drain: keep the offered load flowing so the backpressure seen by
 	// measured packets persists, until every measured packet has ejected
 	// or the drain budget runs out.
+	s.phase = "drain"
 	for i := int64(0); i < s.cfg.DrainCycles && s.measuredEjected < s.measured; i++ {
 		s.step()
 	}
 	s.measuring = false
+	s.phase = "done"
+	s.runh.Finish()
 
 	wall := time.Since(wall0).Seconds()
 	var mem1 runtime.MemStats
@@ -322,6 +447,8 @@ func (s *Simulation) Run() *Result {
 		BlockEvents:     s.met.blockEvents,
 		BufferPurity:    s.met.bufferPurity(),
 		Runtime:         rt,
+		Stalled:         s.stalled,
+		Obs:             s.col,
 	}
 	if s.measured > 0 {
 		res.HoLDegree = s.met.holDegree() / float64(s.measured) * 1000

@@ -34,6 +34,16 @@ func runLoad(cfg Config, pattern string, size traffic.SizeFn, rate float64) (*Re
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Monitor != nil {
+		// Tag the monitored run with its injection rate; harnesses set the
+		// figure/pattern/algorithm part and leave the rate to us, since
+		// bisection searches pick rates dynamically.
+		base := cfg.RunLabel
+		if base == "" {
+			base = cfg.Algorithm
+		}
+		cfg.RunLabel = fmt.Sprintf("%s rate=%.3f", base, rate)
+	}
 	gen := &traffic.Generator{Pattern: p, Rate: rate, Size: size}
 	s, err := New(cfg, gen)
 	if err != nil {

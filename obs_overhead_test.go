@@ -1,6 +1,7 @@
 package nocsim
 
 import (
+	"path/filepath"
 	"testing"
 
 	"nocsim/internal/obs"
@@ -19,14 +20,22 @@ func TestObsOverheadBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	run := func(o obs.Options) float64 {
+	run := func(o obs.Options, monitored bool) float64 {
 		best := 0.0
 		for i := 0; i < 3; i++ {
 			cfg := benchProfile().BaseConfig()
 			cfg.Obs = o
+			if monitored {
+				cfg.Monitor = obs.NewHub()
+				cfg.WatchdogCycles = 2000
+				cfg.WatchdogOut = filepath.Join(t.TempDir(), "stall.json")
+			}
 			res, err := Run(cfg, "uniform", 0.3)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if res.Stalled {
+				t.Fatal("benign overhead run flagged as stalled")
 			}
 			if cps := res.Runtime.CyclesPerSec; cps > best {
 				best = cps
@@ -34,8 +43,8 @@ func TestObsOverheadBudget(t *testing.T) {
 		}
 		return best
 	}
-	disabled := run(obs.Options{})
-	enabled := run(obs.Options{Trace: true, SamplePeriod: 100, Heatmap: true})
+	disabled := run(obs.Options{}, false)
+	enabled := run(obs.Options{Trace: true, SamplePeriod: 100, Heatmap: true}, false)
 	if disabled <= 0 || enabled <= 0 {
 		t.Fatalf("degenerate rates: disabled %.0f, enabled %.0f cycles/s", disabled, enabled)
 	}
@@ -43,5 +52,14 @@ func TestObsOverheadBudget(t *testing.T) {
 	t.Logf("cycles/s: disabled %.0f, enabled %.0f (%.2fx overhead)", disabled, enabled, ratio)
 	if ratio > 2.5 {
 		t.Errorf("full telemetry costs %.2fx (budget 2.5x): a hot-path callback lost its gate?", ratio)
+	}
+	// The live-observability path — monitoring hub plus armed watchdog,
+	// heartbeat every 128 cycles — shares the same budget: it is meant to
+	// be left on for whole sweeps.
+	monitored := run(obs.Options{}, true)
+	mratio := disabled / monitored
+	t.Logf("cycles/s: monitored %.0f (%.2fx overhead)", monitored, mratio)
+	if mratio > 2.5 {
+		t.Errorf("hub+watchdog heartbeat costs %.2fx (budget 2.5x): did the beat gate break?", mratio)
 	}
 }
