@@ -1,13 +1,15 @@
 // Command benchjson runs the repository's benchmark suite and writes the
 // results as machine-readable JSON: ns/op, B/op, allocs/op and every
 // custom b.ReportMetric unit of each benchmark, plus an engine reference
-// run reporting the simulator's cycles/s and flit-hops/s. CI runs it in
-// quick mode and uploads the file as an artifact, so performance history
-// is a download away rather than buried in job logs.
+// run reporting the simulator's cycles/s and flit-hops/s and a
+// parallel-sweep reference run recording the -jobs worker pool's speedup
+// and determinism on a fixed Figure 5 grid. CI runs it in quick mode and
+// uploads the file as an artifact, so performance history is a download
+// away rather than buried in job logs.
 //
 //	benchjson                           # full suite -> BENCH_<n>.json
 //	benchjson -bench 'Figure5|Table2' -benchtime 1x
-//	benchjson -o bench.json
+//	benchjson -jobs 4 -o bench.json
 package main
 
 import (
@@ -25,19 +27,22 @@ import (
 	"time"
 
 	"nocsim"
+	"nocsim/internal/cli"
 	"nocsim/internal/exp"
+	"nocsim/internal/sim"
 )
 
 // Report is the JSON document benchjson writes.
 type Report struct {
-	GeneratedAt string  `json:"generated_at"`
-	GoVersion   string  `json:"go_version"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
-	BenchRegexp string  `json:"bench_regexp"`
-	BenchTime   string  `json:"bench_time"`
-	Engine      Engine  `json:"engine"`
-	Benchmarks  []Bench `json:"benchmarks"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	BenchRegexp string        `json:"bench_regexp"`
+	BenchTime   string        `json:"bench_time"`
+	Engine      Engine        `json:"engine"`
+	Parallel    ParallelSweep `json:"parallel_sweep"`
+	Benchmarks  []Bench       `json:"benchmarks"`
 }
 
 // Engine is a fixed reference run of the simulation engine (Table 2
@@ -51,6 +56,20 @@ type Engine struct {
 	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
 	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
 	HeapAllocs     uint64  `json:"heap_allocs"`
+}
+
+// ParallelSweep is a fixed reference sweep (Figure 5, uniform traffic,
+// reduced rate grid) run twice — serially, then on the -jobs worker
+// pool — recording the wall-clock ratio and whether the two sweeps
+// formatted identically (the engine's determinism guarantee).
+type ParallelSweep struct {
+	CPUs            int     `json:"cpus"`
+	Jobs            int     `json:"jobs"`
+	Runs            int     `json:"runs"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
 }
 
 // Bench is one parsed benchmark result line.
@@ -71,6 +90,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("o", "", "output file (default: next free BENCH_<n>.json)")
 	skipEngine := flag.Bool("skip-engine", false, "skip the engine reference run")
+	skipParallel := flag.Bool("skip-parallel", false, "skip the parallel-sweep reference run")
+	jobs := cli.NewJobs()
 	flag.Parse()
 
 	rep := Report{
@@ -99,6 +120,17 @@ func main() {
 			HeapAllocs:     rt.HeapAllocs,
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: engine reference %s\n", rt.String())
+	}
+
+	if !*skipParallel {
+		ps, err := parallelReference(sim.Jobs(*jobs))
+		if err != nil {
+			fatal(err)
+		}
+		rep.Parallel = ps
+		fmt.Fprintf(os.Stderr,
+			"benchjson: parallel sweep %d runs: serial %.2fs, jobs=%d %.2fs (%.2fx, identical=%v)\n",
+			ps.Runs, ps.SerialSeconds, ps.Jobs, ps.ParallelSeconds, ps.Speedup, ps.Identical)
 	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -145,6 +177,48 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), path)
+}
+
+// parallelReference runs the reference sweep — Figure 5 (all seven
+// algorithms, single-flit packets) on uniform traffic over a three-point
+// rate grid at quick effort — once at Jobs=1 and once at the requested
+// worker count, and compares the formatted studies byte for byte.
+func parallelReference(jobs int) (ParallelSweep, error) {
+	prof := exp.QuickProfile()
+	prof.Rates = []float64{0.1, 0.25, 0.4}
+
+	prof.Jobs = 1
+	t0 := time.Now()
+	serial, err := exp.Figure5(prof, "uniform")
+	if err != nil {
+		return ParallelSweep{}, err
+	}
+	serialSec := time.Since(t0).Seconds()
+
+	prof.Jobs = jobs
+	t1 := time.Now()
+	par, err := exp.Figure5(prof, "uniform")
+	if err != nil {
+		return ParallelSweep{}, err
+	}
+	parSec := time.Since(t1).Seconds()
+
+	runs := 0
+	for _, c := range serial.Curves {
+		runs += len(c.Points)
+	}
+	ps := ParallelSweep{
+		CPUs:            runtime.NumCPU(),
+		Jobs:            jobs,
+		Runs:            runs,
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parSec,
+		Identical:       serial.Format() == par.Format(),
+	}
+	if parSec > 0 {
+		ps.Speedup = serialSec / parSec
+	}
+	return ps, nil
 }
 
 // parseBenchLine parses one `go test -bench` result line:

@@ -19,6 +19,7 @@ import (
 func main() {
 	profile := flag.String("profile", "full", "effort level: full or quick")
 	tables := flag.Bool("tables", false, "print Table 1 and the cost analysis, skip the simulation")
+	jobs := cli.NewJobs()
 	lobs := cli.NewObs("ctree")
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	prof.Jobs = *jobs
 	lobs.ApplyProfile(&prof)
 	study, err := exp.Figure2(prof, nil)
 	if err != nil {

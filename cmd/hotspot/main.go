@@ -22,6 +22,7 @@ func main() {
 	profile := flag.String("profile", "full", "effort level: full or quick")
 	bg := flag.Float64("bg", 0.3, "background injection rate (flits/node/cycle)")
 	flows := flag.Bool("flows", false, "print the Table 3 hotspot flows and exit")
+	jobs := cli.NewJobs()
 	lobs := cli.NewObs("hotspot")
 	export := cli.NewRunExport("hotspot")
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	prof.Jobs = *jobs
 	lobs.ApplyProfile(&prof)
 	prof.Obs = export.Options()
 

@@ -6,6 +6,7 @@
 //	nocsim [flags]
 //	nocsim -print-config            # show the Table 2 baseline
 //	nocsim -alg dbar -pattern transpose -rate 0.35
+//	nocsim -rates 0.1,0.2,0.3 -jobs 4  # parallel mini-sweep, one row per rate
 //	nocsim -width 16 -height 16 -vcs 4 -rate 0.2
 //	nocsim -trace-out trace.json    # Perfetto-loadable lifecycle trace
 //	nocsim -heatmap-out links.csv   # measurement-window link heatmap
@@ -20,6 +21,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"nocsim/internal/cli"
 	"nocsim/internal/exp"
@@ -44,6 +47,8 @@ func main() {
 
 	pattern := flag.String("pattern", "uniform", "traffic pattern (uniform|transpose|shuffle|bitcomp)")
 	rate := flag.Float64("rate", 0.2, "offered load in flits/node/cycle")
+	rates := flag.String("rates", "", "comma-separated rate grid, e.g. 0.1,0.2,0.3: run a latency-throughput sweep on the -jobs worker pool instead of a single simulation")
+	jobs := cli.NewJobs()
 	minFlits := flag.Int("min-flits", 1, "minimum packet size")
 	maxFlits := flag.Int("max-flits", 1, "maximum packet size")
 	printConfig := flag.Bool("print-config", false, "print the configuration (Table 2) and exit")
@@ -85,6 +90,10 @@ func main() {
 		size = traffic.FixedSize(*minFlits)
 	} else {
 		size = traffic.UniformSize(*minFlits, *maxFlits)
+	}
+	if *rates != "" {
+		sweep(cfg, *pattern, size, *rates, *jobs)
+		return
 	}
 	s, err := sim.New(cfg, &traffic.Generator{Pattern: p, Rate: *rate, Size: size})
 	if err != nil {
@@ -139,6 +148,37 @@ func main() {
 			fmt.Printf("heatmap            %s (%d flits ejected in window)\n",
 				*heatmapOut, col.Heatmap.TotalEjected())
 		}
+	}
+}
+
+// sweep runs the comma-separated rate grid through the parallel
+// execution engine and prints one row per rate. Single-run outputs
+// (traces, counter CSVs) are skipped; use the experiment commands'
+// -counters-out for per-run exports.
+func sweep(cfg sim.Config, pattern string, size traffic.SizeFn, rateList string, jobs int) {
+	var grid []float64
+	for _, s := range strings.Split(rateList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad rate %q: %v", s, err))
+		}
+		grid = append(grid, v)
+	}
+	pts, err := sim.LatencyThroughputJobs(cfg, pattern, size, grid, jobs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s / %s, %dx%d, %d VCs, %d workers\n",
+		cfg.Algorithm, pattern, cfg.Width, cfg.Height, cfg.VCs, sim.Jobs(jobs))
+	fmt.Printf("%8s %10s %10s %10s %8s %8s\n", "rate", "offered", "accepted", "latency", "p99", "stable")
+	for _, pt := range pts {
+		res := pt.Result
+		fmt.Printf("%8.3f %10.3f %10.3f %10s %8s %8v\n",
+			pt.Rate, res.Offered, res.Accepted,
+			naFloat(res.AvgLatency(flit.ClassBackground), "%.1f",
+				res.Latency[flit.ClassBackground] != nil && res.Latency[flit.ClassBackground].N() > 0),
+			naFloat(res.P99, "%.0f", !math.IsNaN(res.P99)),
+			res.Stable)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 func main() {
 	profile := flag.String("profile", "full", "effort level: full or quick")
 	sizes := flag.String("sizes", "4x4,16x16", "comma-separated mesh sizes, e.g. 4x4,16x16")
+	jobs := cli.NewJobs()
 	lobs := cli.NewObs("scale")
 	flag.Parse()
 
@@ -30,6 +31,7 @@ func main() {
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	prof.Jobs = *jobs
 	lobs.ApplyProfile(&prof)
 
 	var meshes [][2]int

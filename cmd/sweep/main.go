@@ -4,6 +4,7 @@
 //	sweep -figure 6                 # Figure 6: variable packet size
 //	sweep -figure 7                 # Figure 7: Footprint vs DBAR, VC sweep
 //	sweep -figure 5 -pattern shuffle -profile quick
+//	sweep -jobs 8                   # 8 parallel runs, identical results
 //	sweep -obs-addr localhost:9090  # live per-run progress while it runs
 //	sweep -counters-out ts.csv      # one counter CSV per (pattern,alg,rate)
 package main
@@ -21,6 +22,7 @@ func main() {
 	figure := flag.Int("figure", 5, "figure to regenerate (5, 6 or 7)")
 	pattern := flag.String("pattern", "", "restrict to one pattern (default: all three)")
 	profile := flag.String("profile", "full", "effort level: full or quick")
+	jobs := cli.NewJobs()
 	lobs := cli.NewObs("sweep")
 	export := cli.NewRunExport("sweep")
 	flag.Parse()
@@ -32,6 +34,7 @@ func main() {
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	prof.Jobs = *jobs
 	lobs.ApplyProfile(&prof)
 	prof.Obs = export.Options()
 

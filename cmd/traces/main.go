@@ -27,6 +27,7 @@ func main() {
 	cycles := flag.Int64("cycles", 20000, "trace length in cycles (with -gen)")
 	seed := flag.Int64("seed", 1, "trace generation seed (with -gen)")
 	out := flag.String("o", "", "output file (with -gen)")
+	jobs := cli.NewJobs()
 	lobs := cli.NewObs("traces")
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	if *profile == "quick" {
 		prof = exp.QuickProfile()
 	}
+	prof.Jobs = *jobs
 	lobs.ApplyProfile(&prof)
 
 	var pairList [][2]string

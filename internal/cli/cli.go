@@ -12,13 +12,21 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"path/filepath"
-	"strings"
+	"sync"
 
 	"nocsim/internal/exp"
 	"nocsim/internal/obs"
 	"nocsim/internal/sim"
 )
+
+// NewJobs registers the -jobs flag shared by the grid-shaped experiment
+// commands: how many independent simulation runs execute concurrently.
+// Per-run seeds are derived deterministically (see sim.DeriveSeed), so
+// equal base seeds give identical results at any -jobs value.
+func NewJobs() *int {
+	return flag.Int("jobs", 0,
+		"parallel simulation runs across the experiment grid (0 = one worker per CPU); results are identical at any value")
+}
 
 // Obs is the shared observability flag set. Construct with NewObs before
 // flag.Parse, Start after.
@@ -106,7 +114,9 @@ type RunExport struct {
 	HeatmapOut   string
 	SamplePeriod int64
 
-	tool    string
+	tool string
+
+	mu      sync.Mutex // Write is called from parallel sweep workers
 	written int
 }
 
@@ -156,8 +166,11 @@ func (e *RunExport) Write(runID string, col *obs.Collector) {
 
 // Report prints how many files were written.
 func (e *RunExport) Report() {
-	if e.written > 0 {
-		fmt.Fprintf(os.Stderr, "%s: wrote %d per-run export files\n", e.tool, e.written)
+	e.mu.Lock()
+	written := e.written
+	e.mu.Unlock()
+	if written > 0 {
+		fmt.Fprintf(os.Stderr, "%s: wrote %d per-run export files\n", e.tool, written)
 	}
 }
 
@@ -176,30 +189,13 @@ func (e *RunExport) writeFile(path string, write func(w io.Writer) error) {
 		fmt.Fprintf(os.Stderr, "%s: close %s: %v\n", e.tool, path, err)
 		return
 	}
+	e.mu.Lock()
 	e.written++
+	e.mu.Unlock()
 }
 
 // suffixPath inserts _id before the extension: base.csv -> base_id.csv.
-func suffixPath(base, id string) string {
-	ext := filepath.Ext(base)
-	return strings.TrimSuffix(base, ext) + "_" + Slug(id) + ext
-}
+func suffixPath(base, id string) string { return obs.SuffixPath(base, id) }
 
 // Slug reduces a run identity to a filename-safe token.
-func Slug(s string) string {
-	var b strings.Builder
-	lastDash := true // trims leading dashes
-	for _, r := range strings.ToLower(s) {
-		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.':
-			b.WriteRune(r)
-			lastDash = false
-		default:
-			if !lastDash {
-				b.WriteByte('-')
-				lastDash = true
-			}
-		}
-	}
-	return strings.TrimRight(b.String(), "-")
-}
+func Slug(s string) string { return obs.Slug(s) }

@@ -43,13 +43,14 @@ func Figure2(p Profile, algorithms []string) (TreeStudy, error) {
 	if algorithms == nil {
 		algorithms = []string{"dor", "dbar", "dor+xordet", "footprint"}
 	}
-	var study TreeStudy
-	for _, alg := range algorithms {
+	anatomies, err := sim.Map(p.Jobs, len(algorithms), func(i int) (TreeAnatomy, error) {
+		alg := algorithms[i]
 		cfg := p.BaseConfig()
 		cfg.Width, cfg.Height = 4, 4
 		cfg.VCs = 4
 		cfg.Algorithm = alg
-		cfg.RunLabel = "Figure 2 " + alg
+		// One shared seed key: every algorithm sees the same traffic.
+		cfg = sim.Identify(cfg, "Figure 2 "+alg, "figure2").Apply(cfg)
 
 		flows := traffic.Permutation{Label: "sec2", Flows: map[int]int{
 			0: 10, 1: 15, 4: 13, 12: 13,
@@ -62,21 +63,21 @@ func Figure2(p Profile, algorithms []string) (TreeStudy, error) {
 		}
 		s, err := sim.New(cfg, hot, bg)
 		if err != nil {
-			return TreeStudy{}, err
+			return TreeAnatomy{}, err
 		}
 		sampler := sim.NewTreeSampler(13)
 		warm := p.Warmup
 		total := warm + p.Measure
-		for i := int64(0); i < total; i++ {
+		for c := int64(0); c < total; c++ {
 			s.Step()
-			if i >= warm {
+			if c >= warm {
 				sampler.Sample(s.Network())
 			}
 		}
-		study.Algorithms = append(study.Algorithms, TreeAnatomy{
-			Algorithm: alg,
-			Endpoint:  sampler.Average(),
-		})
+		return TreeAnatomy{Algorithm: alg, Endpoint: sampler.Average()}, nil
+	})
+	if err != nil {
+		return TreeStudy{}, err
 	}
-	return study, nil
+	return TreeStudy{Algorithms: anatomies}, nil
 }

@@ -115,13 +115,19 @@ func Figure6(p Profile, pattern string) (CurveSet, error) {
 	return curveSet(p, "Figure 6", pattern, traffic.UniformSize(1, 6), SyntheticAlgorithms())
 }
 
+// curveSet fans the figure's algorithms out to the worker pool — one
+// curve per worker — while each curve's rates stay sequential: the
+// early-exit below needs the previous points' saturation verdicts, and
+// a bisection-free curve is cheap enough that curve-level parallelism
+// already covers the grid.
 func curveSet(p Profile, figure, pattern string, size traffic.SizeFn, algs []string) (CurveSet, error) {
 	crit := sim.DefaultCriterion()
 	cs := CurveSet{Figure: figure, Pattern: pattern}
 	if p.Monitor != nil {
 		p.Monitor.AddPlan(len(algs) * len(p.Rates))
 	}
-	for _, alg := range algs {
+	curves, err := sim.Map(p.Jobs, len(algs), func(i int) (Curve, error) {
+		alg := algs[i]
 		cfg := p.BaseConfig()
 		cfg.Algorithm = alg
 		var pts []sim.SweepPoint
@@ -129,9 +135,9 @@ func curveSet(p Profile, figure, pattern string, size traffic.SizeFn, algs []str
 		saturated := 0
 		cfg.RunLabel = fmt.Sprintf("%s %s/%s", figure, pattern, alg)
 		for _, rate := range p.Rates {
-			sub, err := sim.LatencyThroughput(cfg, pattern, size, []float64{rate})
+			sub, err := sim.LatencyThroughputJobs(cfg, pattern, size, []float64{rate}, 1)
 			if err != nil {
-				return CurveSet{}, fmt.Errorf("exp: %s %s/%s: %w", figure, pattern, alg, err)
+				return Curve{}, fmt.Errorf("exp: %s %s/%s: %w", figure, pattern, alg, err)
 			}
 			pt := sub[0]
 			pts = append(pts, pt)
@@ -153,8 +159,12 @@ func curveSet(p Profile, figure, pattern string, size traffic.SizeFn, algs []str
 			// never run, so shrink the plan to keep grid progress honest.
 			p.Monitor.AddPlan(len(pts) - len(p.Rates))
 		}
-		cs.Curves = append(cs.Curves, Curve{Algorithm: alg, Points: pts})
+		return Curve{Algorithm: alg, Points: pts}, nil
+	})
+	if err != nil {
+		return CurveSet{}, err
 	}
+	cs.Curves = curves
 	return cs, nil
 }
 
@@ -185,24 +195,34 @@ func (v VCSweep) Format() string {
 }
 
 // Figure7 regenerates one panel of Figure 7: Footprint vs DBAR saturation
-// throughput as the VC count varies.
+// throughput as the VC count varies. Every (VC count, algorithm) cell is
+// an independent bisection; the grid runs in parallel across cells while
+// each bisection stays sequential internally.
 func Figure7(p Profile, pattern string, vcCounts []int) (VCSweep, error) {
 	if vcCounts == nil {
 		vcCounts = []int{2, 4, 8, 16}
 	}
+	algs := []string{"footprint", "dbar"}
+	tps, err := sim.Map(p.Jobs, len(vcCounts)*len(algs), func(i int) (float64, error) {
+		vcs, alg := vcCounts[i/len(algs)], algs[i%len(algs)]
+		cfg := p.BaseConfig()
+		cfg.Algorithm = alg
+		cfg.VCs = vcs
+		cfg.RunLabel = fmt.Sprintf("Figure 7 %s/%s vcs=%d", pattern, alg, vcs)
+		sr, err := sim.SaturationThroughput(cfg, pattern, traffic.FixedSize(1), p.Tol)
+		if err != nil {
+			return 0, err
+		}
+		return sr.Throughput, nil
+	})
+	if err != nil {
+		return VCSweep{}, err
+	}
 	out := VCSweep{Pattern: pattern}
-	for _, vcs := range vcCounts {
+	for vi, vcs := range vcCounts {
 		pt := VCSweepPoint{VCs: vcs, Throughput: map[string]float64{}}
-		for _, alg := range []string{"footprint", "dbar"} {
-			cfg := p.BaseConfig()
-			cfg.Algorithm = alg
-			cfg.VCs = vcs
-			cfg.RunLabel = fmt.Sprintf("Figure 7 %s/%s vcs=%d", pattern, alg, vcs)
-			sr, err := sim.SaturationThroughput(cfg, pattern, traffic.FixedSize(1), p.Tol)
-			if err != nil {
-				return VCSweep{}, err
-			}
-			pt.Throughput[alg] = sr.Throughput
+		for ai, alg := range algs {
+			pt.Throughput[alg] = tps[vi*len(algs)+ai]
 		}
 		out.Points = append(out.Points, pt)
 	}
@@ -237,24 +257,49 @@ func (s ScaleStudy) Format() string {
 
 // Figure8 regenerates Figure 8: saturation throughput of DBAR normalized
 // to Footprint on 4×4 and 16×16 meshes (VC count held at the baseline).
+// The (mesh, pattern, algorithm) cells bisect independently in parallel.
 func Figure8(p Profile, sizes [][2]int) (ScaleStudy, error) {
 	if sizes == nil {
 		sizes = [][2]int{{4, 4}, {16, 16}}
 	}
-	var out ScaleStudy
+	patterns := SyntheticPatterns()
+	algs := []string{"footprint", "dbar"}
+	type cell struct {
+		wh      [2]int
+		pattern string
+		alg     string
+	}
+	var cells []cell
 	for _, wh := range sizes {
-		for _, pattern := range SyntheticPatterns() {
+		for _, pattern := range patterns {
+			for _, alg := range algs {
+				cells = append(cells, cell{wh, pattern, alg})
+			}
+		}
+	}
+	tps, err := sim.Map(p.Jobs, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		cfg := p.BaseConfig()
+		cfg.Algorithm = c.alg
+		cfg.Width, cfg.Height = c.wh[0], c.wh[1]
+		cfg.RunLabel = fmt.Sprintf("Figure 8 %s/%s %dx%d", c.pattern, c.alg, c.wh[0], c.wh[1])
+		sr, err := sim.SaturationThroughput(cfg, c.pattern, traffic.FixedSize(1), p.Tol)
+		if err != nil {
+			return 0, err
+		}
+		return sr.Throughput, nil
+	})
+	if err != nil {
+		return ScaleStudy{}, err
+	}
+	var out ScaleStudy
+	i := 0
+	for _, wh := range sizes {
+		for _, pattern := range patterns {
 			pt := ScalePoint{Width: wh[0], Height: wh[1], Pattern: pattern, Throughput: map[string]float64{}}
-			for _, alg := range []string{"footprint", "dbar"} {
-				cfg := p.BaseConfig()
-				cfg.Algorithm = alg
-				cfg.Width, cfg.Height = wh[0], wh[1]
-				cfg.RunLabel = fmt.Sprintf("Figure 8 %s/%s %dx%d", pattern, alg, wh[0], wh[1])
-				sr, err := sim.SaturationThroughput(cfg, pattern, traffic.FixedSize(1), p.Tol)
-				if err != nil {
-					return ScaleStudy{}, err
-				}
-				pt.Throughput[alg] = sr.Throughput
+			for _, alg := range algs {
+				pt.Throughput[alg] = tps[i]
+				i++
 			}
 			pt.DBARNormalized = stats.Ratio(pt.Throughput["dbar"], pt.Throughput["footprint"])
 			out.Points = append(out.Points, pt)
@@ -298,15 +343,22 @@ func Figure9(p Profile, bgRate float64, rates []float64) (HotspotStudy, error) {
 	if p.Monitor != nil {
 		p.Monitor.AddPlan(2 * len(rates))
 	}
-	for _, alg := range []string{"footprint", "dbar"} {
+	// Flatten the (algorithm × rate) grid so every cell is one independent
+	// run; nesting HotspotCurveJobs inside a parallel algorithm loop would
+	// oversubscribe the worker budget.
+	algs := []string{"footprint", "dbar"}
+	pts, err := sim.Map(p.Jobs, len(algs)*len(rates), func(i int) (sim.HotspotPoint, error) {
+		alg, rate := algs[i/len(rates)], rates[i%len(rates)]
 		cfg := p.BaseConfig()
 		cfg.Algorithm = alg
 		cfg.RunLabel = fmt.Sprintf("Figure 9 %s bg=%.2f", alg, bgRate)
-		pts, err := sim.HotspotCurve(cfg, bgRate, rates)
-		if err != nil {
-			return HotspotStudy{}, err
-		}
-		out.Curves[alg] = pts
+		return sim.HotspotRun(cfg, bgRate, rate)
+	})
+	if err != nil {
+		return HotspotStudy{}, err
+	}
+	for ai, alg := range algs {
+		out.Curves[alg] = pts[ai*len(rates) : (ai+1)*len(rates)]
 	}
 	return out, nil
 }

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"nocsim/internal/obs"
+)
+
+// TestCurveSetDeterministicAcrossJobs is the harness-level golden test:
+// a whole figure's curve set formats identically whether the grid ran
+// serially or on the worker pool (the saturation early-exit trimming
+// included).
+func TestCurveSetDeterministicAcrossJobs(t *testing.T) {
+	algs := []string{"footprint", "dbar", "dor"}
+
+	p := tinyProfile()
+	p.Jobs = 1
+	serial, err := curveSet(p, "Figure 5", "uniform", nil, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Jobs = 4
+	par, err := curveSet(p, "Figure 5", "uniform", nil, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, g := serial.Format(), par.Format(); s != g {
+		t.Errorf("curve set differs at jobs=1 vs jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", s, g)
+	}
+}
+
+// TestFigure10DeterministicAcrossJobs covers the trace harness: per-run
+// trace generation and simulation seeds must make the paired-workload
+// study independent of the worker count.
+func TestFigure10DeterministicAcrossJobs(t *testing.T) {
+	pairs := [][2]string{{"x264", "canneal"}}
+
+	p := tinyProfile()
+	p.Jobs = 1
+	serial, err := Figure10(p, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Jobs = 4
+	par, err := Figure10(p, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, g := serial.Format(), par.Format(); s != g {
+		t.Errorf("Figure 10 differs at jobs=1 vs jobs=4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", s, g)
+	}
+}
+
+// TestParallelSweepMonitorRace runs a monitored figure on the worker
+// pool while scraper goroutines hit the hub the way the HTTP handlers
+// do. Under -race this proves the whole path — parallel run
+// registration, heartbeats, plan accounting, per-run labels — is clean.
+func TestParallelSweepMonitorRace(t *testing.T) {
+	hub := obs.NewHub()
+	p := tinyProfile()
+	p.Jobs = 4
+	p.Monitor = hub
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := hub.WriteStatus(io.Discard); err != nil {
+					t.Errorf("WriteStatus: %v", err)
+					return
+				}
+				if err := hub.WriteMetrics(io.Discard); err != nil {
+					t.Errorf("WriteMetrics: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	cs, err := curveSet(p, "Figure 5", "uniform", nil, []string{"footprint", "dbar", "dor", "oddeven"})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Curves) != 4 {
+		t.Fatalf("curves = %d", len(cs.Curves))
+	}
+
+	st := hub.Status()
+	if st.Active != 0 {
+		t.Errorf("active runs = %d after the sweep finished", st.Active)
+	}
+	if st.Completed == 0 {
+		t.Error("no completed runs reported")
+	}
+	// Every run of the sweep must carry a distinct, rate-tagged label —
+	// the shared-config mutation this engine replaced used to clobber
+	// them.
+	seen := map[string]int{}
+	for _, r := range st.Runs {
+		seen[r.Label]++
+	}
+	for label, n := range seen {
+		if n > 1 {
+			t.Errorf("label %q used by %d runs; per-run identity must be unique", label, n)
+		}
+	}
+}

@@ -26,6 +26,11 @@ type Profile struct {
 	// TraceCycles bounds generated trace length for Figure 10.
 	TraceCycles int64
 
+	// Jobs is the worker count for the experiment's grid of independent
+	// runs (0 = one per CPU; see sim.Map). Per-run seeds are derived
+	// deterministically, so results are identical at any value.
+	Jobs int
+
 	// Obs selects per-run observability collectors (counter sampler,
 	// heatmap, tracer) attached to every simulation of the experiment;
 	// each Result carries its collector back for per-run export.

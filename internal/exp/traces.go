@@ -55,7 +55,9 @@ func DefaultPairs() [][2]string {
 var traceAlgorithms = []string{"footprint", "dbar"}
 
 // RunTracePair replays the merged traces of two workloads under one
-// algorithm and returns the simulation result.
+// algorithm and returns the simulation result. seed drives trace
+// generation; the simulation's own seed is derived from the run identity
+// so parallel grid cells never share RNG state.
 func RunTracePair(p Profile, alg, a, b string, seed int64) (*sim.Result, error) {
 	wa, err := trace.WorkloadByName(a)
 	if err != nil {
@@ -63,11 +65,17 @@ func RunTracePair(p Profile, alg, a, b string, seed int64) (*sim.Result, error) 
 	}
 	cfg := p.BaseConfig()
 	cfg.Algorithm = alg
+	var label string
 	if b != "" {
-		cfg.RunLabel = fmt.Sprintf("Figure 10 %s+%s/%s", a, b, alg)
+		label = fmt.Sprintf("Figure 10 %s+%s/%s", a, b, alg)
 	} else {
-		cfg.RunLabel = fmt.Sprintf("Figure 10 %s/%s", a, alg)
+		label = fmt.Sprintf("Figure 10 %s/%s", a, alg)
 	}
+	// The seed key names the workload cell, not the algorithm, so both
+	// algorithms of a Figure 10 bar replay against the same arbitration
+	// coin flips (trace generation already shares seed explicitly).
+	cfg = sim.Identify(cfg, label,
+		fmt.Sprintf("trace/%s+%s/seed=%d", a, b, seed)).Apply(cfg)
 	mesh := cfg.Mesh()
 	ta := trace.Generate(wa, mesh, p.TraceCycles, seed)
 	var merged []trace.Record
@@ -94,20 +102,28 @@ func RunTracePair(p Profile, alg, a, b string, seed int64) (*sim.Result, error) 
 }
 
 // Figure10 regenerates Figure 10: paired-workload latency comparison (a)
-// and per-application purity (b) and HoL degree (c).
+// and per-application purity (b) and HoL degree (c). The (pair ×
+// algorithm) and (workload × algorithm) grids run in parallel on the
+// profile's worker budget; trace generation and simulation seeds are
+// per-run, so the study is identical at any Jobs value.
 func Figure10(p Profile, pairs [][2]string) (TraceStudy, error) {
 	if pairs == nil {
 		pairs = DefaultPairs()
 	}
+	nalg := len(traceAlgorithms)
+	pairRes, err := sim.Map(p.Jobs, len(pairs)*nalg, func(i int) (*sim.Result, error) {
+		pair, alg := pairs[i/nalg], traceAlgorithms[i%nalg]
+		return RunTracePair(p, alg, pair[0], pair[1], 1000)
+	})
+	if err != nil {
+		return TraceStudy{}, err
+	}
 	var study TraceStudy
-	for _, pair := range pairs {
+	for pi, pair := range pairs {
 		pr := PairResult{A: pair[0], B: pair[1],
 			Latency: map[string]float64{}, Delivered: map[string]int64{}}
-		for _, alg := range traceAlgorithms {
-			res, err := RunTracePair(p, alg, pair[0], pair[1], 1000)
-			if err != nil {
-				return TraceStudy{}, err
-			}
+		for ai, alg := range traceAlgorithms {
+			res := pairRes[pi*nalg+ai]
 			pr.Latency[alg] = res.AvgLatency(flit.ClassBackground)
 			pr.Delivered[alg] = res.MeasuredEjected
 		}
@@ -115,26 +131,34 @@ func Figure10(p Profile, pairs [][2]string) (TraceStudy, error) {
 		pr.DeltaPct = stats.Ratio(db-pr.Latency["footprint"], db) * 100
 		study.Pairs = append(study.Pairs, pr)
 	}
-	// Per-workload blocking metrics (Figures 10b, 10c) from solo runs.
+	// Per-workload blocking metrics (Figures 10b, 10c) from solo runs over
+	// the distinct workloads, in first-appearance order.
 	seen := map[string]bool{}
+	var names []string
 	for _, pair := range pairs {
 		for _, name := range []string{pair[0], pair[1]} {
-			if seen[name] {
-				continue
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
 			}
-			seen[name] = true
-			wm := WorkloadMetrics{Name: name,
-				Purity: map[string]float64{}, HoLDegree: map[string]float64{}}
-			for _, alg := range traceAlgorithms {
-				res, err := RunTracePair(p, alg, name, "", 2000)
-				if err != nil {
-					return TraceStudy{}, err
-				}
-				wm.Purity[alg] = res.Purity
-				wm.HoLDegree[alg] = res.HoLDegree
-			}
-			study.PerWorkload = append(study.PerWorkload, wm)
 		}
+	}
+	soloRes, err := sim.Map(p.Jobs, len(names)*nalg, func(i int) (*sim.Result, error) {
+		name, alg := names[i/nalg], traceAlgorithms[i%nalg]
+		return RunTracePair(p, alg, name, "", 2000)
+	})
+	if err != nil {
+		return TraceStudy{}, err
+	}
+	for ni, name := range names {
+		wm := WorkloadMetrics{Name: name,
+			Purity: map[string]float64{}, HoLDegree: map[string]float64{}}
+		for ai, alg := range traceAlgorithms {
+			res := soloRes[ni*nalg+ai]
+			wm.Purity[alg] = res.Purity
+			wm.HoLDegree[alg] = res.HoLDegree
+		}
+		study.PerWorkload = append(study.PerWorkload, wm)
 	}
 	return study, nil
 }

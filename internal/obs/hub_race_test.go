@@ -1,0 +1,132 @@
+package obs_test
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/network"
+	"nocsim/internal/obs"
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+// liveNet builds a small fabric with some traffic in flight so that
+// PublishGauges and Capture read non-trivial counters.
+func liveNet(t *testing.T) *network.Network {
+	t.Helper()
+	n := network.New(network.Config{
+		Mesh:     topo.MustNew(2, 2),
+		VCs:      2,
+		BufDepth: 4,
+		Speedup:  2,
+		NewAlg:   func() routing.Algorithm { return routing.MustNew("footprint") },
+		Rand:     rand.New(rand.NewSource(1)),
+	})
+	n.Sink = func(p *flit.Packet) {}
+	id := uint64(0)
+	for cycle := 0; cycle < 50; cycle++ {
+		for _, src := range []int{0, 1, 2} {
+			id++
+			n.Offer(&flit.Packet{ID: id, Src: src, Dest: 3, Size: 1, Born: n.Now()})
+		}
+		n.Step()
+	}
+	return n
+}
+
+// TestHubConcurrentRunsAndScrapes hammers one hub the way a parallel
+// sweep does — many runs registering, heartbeating and finishing at once
+// — while scraper goroutines read /status and /metrics and request
+// snapshots throughout. Run under -race, the test proves the hub is a
+// safe meeting point for the worker pool and the HTTP server.
+func TestHubConcurrentRunsAndScrapes(t *testing.T) {
+	hub := obs.NewHub()
+	net := liveNet(t)
+
+	const (
+		writers    = 8
+		runsPer    = 25
+		heartbeats = 20
+		scrapers   = 4
+	)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: read everything the HTTP handlers read, as fast as
+	// possible, until the writers are done.
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := hub.WriteStatus(io.Discard); err != nil {
+					t.Errorf("WriteStatus: %v", err)
+					return
+				}
+				if err := hub.WriteMetrics(io.Discard); err != nil {
+					t.Errorf("WriteMetrics: %v", err)
+					return
+				}
+				hub.Status()
+				hub.Stalls()
+				hub.RequestSnapshot(time.Millisecond)
+			}
+		}()
+	}
+
+	// Writers: each behaves like a worker of the pool running a grid
+	// slice — plan, register, heartbeat (with gauge and snapshot
+	// publishes, as the simulation heartbeat does), stall, finish.
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			hub.AddPlan(runsPer)
+			for r := 0; r < runsPer; r++ {
+				rh := hub.StartRun("race run", "footprint", heartbeats)
+				for hb := 0; hb < heartbeats; hb++ {
+					rh.Update(obs.RunUpdate{Phase: "measure", Cycle: int64(hb), InFlight: 3})
+					if hb%5 == 0 {
+						hub.PublishGauges(int64(hb), net)
+					}
+					if hub.SnapshotWanted() {
+						hub.PublishSnapshot(obs.Capture(net))
+					}
+				}
+				if r%7 == 0 {
+					rh.MarkStalled()
+				}
+				rh.Finish()
+			}
+		}(w)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	st := hub.Status()
+	if want := int64(writers * runsPer); st.Completed != want {
+		t.Errorf("completed = %d, want %d", st.Completed, want)
+	}
+	if st.Planned != writers*runsPer {
+		t.Errorf("planned = %d, want %d", st.Planned, writers*runsPer)
+	}
+	if st.Active != 0 {
+		t.Errorf("active = %d after all runs finished", st.Active)
+	}
+	if st.GridPercent != 100 {
+		t.Errorf("grid percent = %.1f, want 100", st.GridPercent)
+	}
+}

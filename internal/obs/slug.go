@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Slug reduces a run identity to a filename-safe token: lower-case
+// letters, digits and dots, with every other character run collapsed to
+// a single dash.
+func Slug(s string) string {
+	var b strings.Builder
+	lastDash := true // trims leading dashes
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// SuffixPath inserts _Slug(id) before the extension: base.csv ->
+// base_id.csv. Per-run output files (counter CSVs, heatmaps, watchdog
+// snapshots) use it so concurrent runs never share a path.
+func SuffixPath(base, id string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "_" + Slug(id) + ext
+}

@@ -1,0 +1,35 @@
+package obs_test
+
+import (
+	"testing"
+
+	"nocsim/internal/obs"
+)
+
+func TestSlug(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Figure 5 uniform/footprint rate=0.300", "figure-5-uniform-footprint-rate-0.300"},
+		{"dbar+xordet", "dbar-xordet"},
+		{"---x---", "x"},
+		{"", ""},
+		{"UPPER lower 42", "upper-lower-42"},
+	}
+	for _, c := range cases {
+		if got := obs.Slug(c.in); got != c.want {
+			t.Errorf("Slug(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSuffixPath(t *testing.T) {
+	cases := []struct{ base, id, want string }{
+		{"counters.csv", "uniform rate=0.30", "counters_uniform-rate-0.30.csv"},
+		{"dumps/stall.json", "Figure 9 dbar", "dumps/stall_figure-9-dbar.json"},
+		{"noext", "id", "noext_id"},
+	}
+	for _, c := range cases {
+		if got := obs.SuffixPath(c.base, c.id); got != c.want {
+			t.Errorf("SuffixPath(%q, %q) = %q, want %q", c.base, c.id, got, c.want)
+		}
+	}
+}

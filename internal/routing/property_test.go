@@ -1,0 +1,192 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nocsim/internal/topo"
+)
+
+// scenario is one randomized routing decision: a mesh, a (cur, dest)
+// pair, the input port the packet arrived on, and a randomly occupied
+// view.
+type scenario struct {
+	m     topo.Mesh
+	cur   int
+	dest  int
+	inDir topo.Direction
+	view  *fakeView
+}
+
+// randomView fills a fresh view with random VC occupancy and downstream
+// congestion numbers.
+func randomView(rng *rand.Rand, nodes, vcs int) *fakeView {
+	fv := newFakeView(vcs)
+	for d := topo.East; d <= topo.Local; d++ {
+		for v := 0; v < vcs; v++ {
+			if rng.Float64() < 0.5 {
+				fv.owner[d][v] = rng.Intn(nodes)
+			}
+		}
+		fv.downstream[d] = rng.Intn(vcs + 1)
+	}
+	return fv
+}
+
+// walkScenario draws a reachable routing state: it injects a packet at a
+// random source and walks it toward a random destination for a random
+// number of hops, each hop decided by the algorithm itself against a
+// randomly occupied view. Turn-model algorithms restrict which (inDir,
+// position) states can occur — inventing an arrival port out of thin air
+// produces histories the model provably never creates — so reachability
+// must come from the algorithm's own decisions.
+func walkScenario(rng *rand.Rand, alg Algorithm) scenario {
+	m := topo.MustNew(3+rng.Intn(6), 3+rng.Intn(6))
+	vcs := 2 + rng.Intn(5)
+	cur := rng.Intn(m.Nodes())
+	dest := rng.Intn(m.Nodes())
+	for dest == cur {
+		dest = rng.Intn(m.Nodes())
+	}
+	inDir := topo.Local
+	view := randomView(rng, m.Nodes(), vcs)
+	steps := rng.Intn(m.Hops(cur, dest)) // strictly short of the destination
+	for i := 0; i < steps; i++ {
+		ctx := &Context{
+			Mesh: m, Cur: cur, Dest: dest, InDir: inDir,
+			View: view, Rand: rng,
+		}
+		reqs := alg.Route(ctx, nil)
+		if len(reqs) == 0 {
+			break
+		}
+		r := reqs[rng.Intn(len(reqs))]
+		next, ok := m.Neighbor(cur, r.Dir)
+		if !ok || next == dest {
+			break
+		}
+		inDir = r.Dir.Opposite()
+		cur = next
+		view = randomView(rng, m.Nodes(), vcs)
+	}
+	return scenario{m: m, cur: cur, dest: dest, inDir: inDir, view: view}
+}
+
+func (s scenario) ctx(seed int64) *Context {
+	return &Context{
+		Mesh: s.m, Cur: s.cur, Dest: s.dest, InDir: s.inDir,
+		View: s.view, Rand: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// minimalDirSet returns the productive quadrant from cur toward dest.
+func minimalDirSet(m topo.Mesh, cur, dest int) map[topo.Direction]bool {
+	set := map[topo.Direction]bool{}
+	dx, hasX, dy, hasY := m.MinimalDirs(cur, dest)
+	if hasX {
+		set[dx] = true
+	}
+	if hasY {
+		set[dy] = true
+	}
+	return set
+}
+
+// TestRoutingInvariantsRandomized drives every registered algorithm
+// through randomized reachable decisions and holds the invariants that
+// make the fabric minimal and deadlock-free:
+//
+//   - every request targets a VC in range and a productive (minimal)
+//     direction — which also rules out 180° turns and off-mesh ports;
+//   - escape-channel algorithms request VC 0 only on the dimension-order
+//     direction (Duato's theory needs the escape layer to stay DOR);
+//   - Odd-Even variants never request a turn the turn model forbids;
+//   - DOR variants request exactly the dimension-order direction;
+//   - a freshly injected packet always gets at least one request;
+//   - a decision is a pure function of (state, seed): repeating it with
+//     an identically seeded RNG yields identical requests — the local
+//     form of the engine-level determinism guarantee.
+func TestRoutingInvariantsRandomized(t *testing.T) {
+	const trials = 500
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			alg := MustNew(name)
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < trials; trial++ {
+				s := walkScenario(rng, alg)
+				reqs := alg.Route(s.ctx(int64(trial)), nil)
+
+				minimal := minimalDirSet(s.m, s.cur, s.dest)
+				dd := dorDir(s.m, s.cur, s.dest)
+				for _, r := range reqs {
+					if r.VC < 0 || r.VC >= s.view.VCs() {
+						t.Fatalf("trial %d: VC %d out of range [0,%d)", trial, r.VC, s.view.VCs())
+					}
+					if !minimal[r.Dir] {
+						t.Fatalf("trial %d: non-minimal request %v (cur %d dest %d, quadrant %v)",
+							trial, r.Dir, s.cur, s.dest, minimal)
+					}
+					if r.Dir == s.inDir {
+						t.Fatalf("trial %d: 180-degree turn back out of input port %v", trial, r.Dir)
+					}
+					if alg.UsesEscape() && r.VC == 0 && r.Dir != dd {
+						t.Fatalf("trial %d: escape VC 0 requested on %v, want DOR direction %v",
+							trial, r.Dir, dd)
+					}
+					if strings.HasPrefix(name, "oddeven") && s.inDir != topo.Local {
+						heading := s.inDir.Opposite()
+						if forbiddenTurn(heading, r.Dir, s.m.Coord(s.cur).X) {
+							t.Fatalf("trial %d: odd-even forbidden turn %v->%v at node %d col %d",
+								trial, heading, r.Dir, s.cur, s.m.Coord(s.cur).X)
+						}
+					}
+					if strings.HasPrefix(name, "dor") && r.Dir != dd {
+						t.Fatalf("trial %d: DOR misroute %v, want %v", trial, r.Dir, dd)
+					}
+				}
+
+				if s.inDir == topo.Local && len(reqs) == 0 {
+					t.Fatalf("trial %d: no requests for a freshly injected packet (cur %d dest %d)",
+						trial, s.cur, s.dest)
+				}
+
+				// Purity: an identical decision replayed with an equally
+				// seeded RNG must produce identical requests.
+				again := alg.Route(s.ctx(int64(trial)), nil)
+				if !reflect.DeepEqual(reqs, again) {
+					t.Fatalf("trial %d: Route is not deterministic:\nfirst:  %v\nsecond: %v",
+						trial, reqs, again)
+				}
+			}
+		})
+	}
+}
+
+// TestFootprintCandidatesWithinAdaptiveQuadrant pins Footprint's
+// defining property: it regulates adaptiveness within the fully-adaptive
+// minimal quadrant — candidates are a subset of the quadrant, never
+// additional paths — and its escape layer is exactly DOR.
+func TestFootprintCandidatesWithinAdaptiveQuadrant(t *testing.T) {
+	fp := MustNew("footprint")
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		s := walkScenario(rng, fp)
+		reqs := fp.Route(s.ctx(int64(trial)), nil)
+		minimal := minimalDirSet(s.m, s.cur, s.dest)
+		for _, r := range reqs {
+			if r.VC == 0 {
+				if dd := dorDir(s.m, s.cur, s.dest); r.Dir != dd {
+					t.Fatalf("trial %d: escape request on %v, want %v", trial, r.Dir, dd)
+				}
+				continue
+			}
+			if !minimal[r.Dir] {
+				t.Fatalf("trial %d: adaptive candidate %v outside minimal quadrant %v",
+					trial, r.Dir, minimal)
+			}
+		}
+	}
+}

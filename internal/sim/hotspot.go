@@ -21,11 +21,39 @@ type HotspotPoint struct {
 // HotspotCurve reproduces Figure 9 for one algorithm: background latency
 // as a function of the hotspot injection rate. cfg must describe an 8×8
 // mesh, since Table 3's flows are defined on it. bgRate is the constant
-// background load (the paper uses 0.30).
+// background load (the paper uses 0.30). The rates run in parallel on
+// one worker per CPU; see HotspotCurveJobs.
 func HotspotCurve(cfg Config, bgRate float64, hotspotRates []float64) ([]HotspotPoint, error) {
+	return HotspotCurveJobs(cfg, bgRate, hotspotRates, 0)
+}
+
+// HotspotCurveJobs is HotspotCurve on up to jobs workers (0 = one per
+// CPU). Every rate is an independent simulation with its own Config
+// copy and derived seed, so the curve is identical at any jobs value.
+func HotspotCurveJobs(cfg Config, bgRate float64, hotspotRates []float64, jobs int) ([]HotspotPoint, error) {
+	return Map(jobs, len(hotspotRates), func(i int) (HotspotPoint, error) {
+		return HotspotRun(cfg, bgRate, hotspotRates[i])
+	})
+}
+
+// HotspotRun simulates one hotspot rate point: Table 3's flows at rate
+// over uniform background traffic at bgRate. Experiment harnesses that
+// flatten whole (algorithm × rate) grids call it directly.
+func HotspotRun(cfg Config, bgRate, rate float64) (HotspotPoint, error) {
 	if cfg.Width != 8 || cfg.Height != 8 {
-		return nil, fmt.Errorf("sim: Table 3 hotspot flows require an 8x8 mesh, have %dx%d", cfg.Width, cfg.Height)
+		return HotspotPoint{}, fmt.Errorf("sim: Table 3 hotspot flows require an 8x8 mesh, have %dx%d", cfg.Width, cfg.Height)
 	}
+	base := cfg.RunLabel
+	if base == "" {
+		base = algName(cfg)
+	}
+	// The seed key names the traffic cell only — like loadIdentity, it
+	// excludes the algorithm so Figure 9's curves face identical traffic.
+	id := Identify(cfg,
+		fmt.Sprintf("%s hot=%.2f", base, rate),
+		fmt.Sprintf("hotspot/bg=%.6f/hot=%.6f", bgRate, rate))
+	cfg = id.Apply(cfg)
+
 	flows := traffic.HotspotFlows()
 	sources := make([]int, 0, len(flows.Flows))
 	for s := range flows.Flows {
@@ -38,42 +66,30 @@ func HotspotCurve(cfg Config, bgRate float64, hotspotRates []float64) ([]Hotspot
 		}
 	}
 
-	var points []HotspotPoint
-	baseLabel := cfg.RunLabel
-	for _, rate := range hotspotRates {
-		if cfg.Monitor != nil {
-			base := baseLabel
-			if base == "" {
-				base = cfg.Algorithm
-			}
-			cfg.RunLabel = fmt.Sprintf("%s hot=%.2f", base, rate)
-		}
-		hot := &traffic.Generator{
-			Nodes:   sources,
-			Pattern: flows,
-			Rate:    rate,
-			Class:   flit.ClassHotspot,
-		}
-		bg := &traffic.Generator{
-			Nodes:   traffic.BackgroundNodes(cfg.Mesh()),
-			Pattern: traffic.Uniform{Nodes: cfg.Mesh().Nodes()},
-			Rate:    bgRate,
-			Class:   flit.ClassBackground,
-		}
-		s, err := New(cfg, hot, bg)
-		if err != nil {
-			return nil, err
-		}
-		res := s.Run()
-		points = append(points, HotspotPoint{
-			Rate:              rate,
-			BackgroundLatency: res.AvgLatency(flit.ClassBackground),
-			BackgroundP99:     res.P99,
-			Stable:            res.Stable,
-			Result:            res,
-		})
+	hot := &traffic.Generator{
+		Nodes:   sources,
+		Pattern: flows,
+		Rate:    rate,
+		Class:   flit.ClassHotspot,
 	}
-	return points, nil
+	bg := &traffic.Generator{
+		Nodes:   traffic.BackgroundNodes(cfg.Mesh()),
+		Pattern: traffic.Uniform{Nodes: cfg.Mesh().Nodes()},
+		Rate:    bgRate,
+		Class:   flit.ClassBackground,
+	}
+	s, err := New(cfg, hot, bg)
+	if err != nil {
+		return HotspotPoint{}, err
+	}
+	res := s.Run()
+	return HotspotPoint{
+		Rate:              rate,
+		BackgroundLatency: res.AvgLatency(flit.ClassBackground),
+		BackgroundP99:     res.P99,
+		Stable:            res.Stable,
+		Result:            res,
+	}, nil
 }
 
 // HotspotSaturation returns the lowest tested hotspot rate at which the

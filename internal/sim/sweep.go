@@ -15,35 +15,62 @@ type SweepPoint struct {
 
 // LatencyThroughput produces one latency-throughput curve (the building
 // block of Figures 5, 6 and 7): cfg is run once per rate with the named
-// synthetic pattern and packet-size distribution.
+// synthetic pattern and packet-size distribution. The rates run in
+// parallel on one worker per CPU; results are independent of the worker
+// count (see LatencyThroughputJobs).
 func LatencyThroughput(cfg Config, pattern string, size traffic.SizeFn, rates []float64) ([]SweepPoint, error) {
-	points := make([]SweepPoint, 0, len(rates))
-	for _, rate := range rates {
-		res, err := runLoad(cfg, pattern, size, rate)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, SweepPoint{Rate: rate, Result: res})
-	}
-	return points, nil
+	return LatencyThroughputJobs(cfg, pattern, size, rates, 0)
 }
 
-// runLoad runs one simulation at the given uniform-pattern-family load.
+// LatencyThroughputJobs is LatencyThroughput on up to jobs workers
+// (0 = one per CPU). Every rate point is an independent simulation with
+// its own Config copy and a seed derived from cfg.Seed and the point's
+// identity, so the curve is bit-identical at any jobs value.
+func LatencyThroughputJobs(cfg Config, pattern string, size traffic.SizeFn, rates []float64, jobs int) ([]SweepPoint, error) {
+	return Map(jobs, len(rates), func(i int) (SweepPoint, error) {
+		res, err := runLoad(cfg, pattern, size, rates[i])
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{Rate: rates[i], Result: res}, nil
+	})
+}
+
+// loadIdentity derives the identity of one rate point of a sweep: the
+// monitored label is the harness's base label (or the algorithm name)
+// tagged with the injection rate — bisection searches pick rates
+// dynamically, so the rate part cannot be pre-assigned — while the seed
+// key is the canonical (pattern, rate) traffic cell. The key is
+// independent of display decoration, so monitoring never changes
+// results, and deliberately excludes the routing algorithm, so the
+// curves of a figure compare algorithms on identical offered traffic
+// (each run still owns a private RNG seeded from the key).
+func loadIdentity(cfg Config, pattern string, rate float64) RunIdentity {
+	base := cfg.RunLabel
+	if base == "" {
+		base = algName(cfg)
+	}
+	return Identify(cfg,
+		fmt.Sprintf("%s rate=%.3f", base, rate),
+		fmt.Sprintf("load/%s/rate=%.6f", pattern, rate))
+}
+
+// runLoad runs one simulation at the given uniform-pattern-family load
+// under the point's derived identity.
 func runLoad(cfg Config, pattern string, size traffic.SizeFn, rate float64) (*Result, error) {
+	return runLoadID(cfg, loadIdentity(cfg, pattern, rate), pattern, size, rate)
+}
+
+// runLoadID runs one simulation at the given load under an explicit run
+// identity. The identity is applied to a private Config copy — the
+// caller's cfg is never mutated, which is what makes the fan-out in
+// LatencyThroughputJobs safe.
+func runLoadID(cfg Config, id RunIdentity, pattern string, size traffic.SizeFn, rate float64) (*Result, error) {
 	p, err := traffic.ByName(pattern, cfg.Mesh())
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Monitor != nil {
-		// Tag the monitored run with its injection rate; harnesses set the
-		// figure/pattern/algorithm part and leave the rate to us, since
-		// bisection searches pick rates dynamically.
-		base := cfg.RunLabel
-		if base == "" {
-			base = cfg.Algorithm
-		}
-		cfg.RunLabel = fmt.Sprintf("%s rate=%.3f", base, rate)
-	}
+	cfg = id.Apply(cfg)
 	gen := &traffic.Generator{Pattern: p, Rate: rate, Size: size}
 	s, err := New(cfg, gen)
 	if err != nil {
@@ -96,7 +123,9 @@ const probeRate = 0.05
 // SaturationThroughput bisects for the network saturation throughput of
 // cfg under the named pattern: the largest offered load that stays stable
 // under the default criterion, resolved to within tol flits/node/cycle
-// (the figures use 0.01).
+// (the figures use 0.01). A bisection is inherently sequential — each
+// probe's rate depends on the previous verdict — so grids of searches
+// parallelize across cells (see exp.Figure7/Figure8), not within one.
 func SaturationThroughput(cfg Config, pattern string, size traffic.SizeFn, tol float64) (*SaturationResult, error) {
 	if tol <= 0 {
 		return nil, fmt.Errorf("sim: tolerance must be positive")
