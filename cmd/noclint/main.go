@@ -1,0 +1,20 @@
+// Command noclint runs the repository's domain-aware static analyzers
+// (determinism, exhaustive, maporder, routepurity, seedident) over Go
+// packages. It must be run from the module root:
+//
+//	go run ./cmd/noclint ./...
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+// or load errors. See internal/lint for the rules and the
+// //noclint:allow suppression syntax.
+package main
+
+import (
+	"os"
+
+	"nocsim/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

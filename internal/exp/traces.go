@@ -84,7 +84,9 @@ func RunTracePair(p Profile, alg, a, b string, seed int64) (*sim.Result, error) 
 		if err != nil {
 			return nil, err
 		}
-		tb := trace.Generate(wb, mesh, p.TraceCycles, seed+1)
+		// The secondary workload gets its own derived stream: seed+1
+		// would collide with the next sweep point's base seed.
+		tb := trace.Generate(wb, mesh, p.TraceCycles, sim.DeriveSeed(seed, "trace/secondary/"+b))
 		merged = trace.Merge(ta, tb)
 	} else {
 		merged = ta

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzeDeterminism enforces the engine's first invariant: simulation
+// results are a pure function of (Config, seed). Under the
+// deterministic roots the rule forbids
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until), and
+//   - the global math/rand source (rand.Intn, rand.Shuffle, …), whose
+//     hidden shared state couples concurrent runs and breaks the
+//     "equal seeds ⇒ identical results at any -jobs" guarantee.
+//
+// Explicitly seeded generators (rand.New(rand.NewSource(seed))) and
+// *rand.Rand method calls stay legal. Wall-clock self-metrics that
+// never feed results (cycles/s reporting) carry //noclint:allow
+// waivers at their two sites in internal/sim.
+var analyzeDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall clock or global math/rand state in result-producing packages",
+	Applies: func(path string) bool {
+		return underAny(path, deterministicRoots)
+	},
+	Run: runDeterminism,
+}
+
+// mathRandConstructors are the package-level math/rand functions that
+// build explicitly seeded state rather than touching the global source.
+var mathRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					out = append(out, finding(p, call.Pos(), "determinism",
+						"time."+fn.Name()+" reads the wall clock in a deterministic simulation path"))
+				}
+			case "math/rand", "math/rand/v2":
+				if !mathRandConstructors[fn.Name()] {
+					out = append(out, finding(p, call.Pos(), "determinism",
+						"rand."+fn.Name()+" draws from the global math/rand source; use an explicitly seeded *rand.Rand"))
+				} else if fn.Name() == "New" && len(call.Args) == 0 {
+					out = append(out, finding(p, call.Pos(), "determinism",
+						"rand.New without an explicit source is auto-seeded and nondeterministic"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

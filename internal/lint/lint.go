@@ -1,0 +1,260 @@
+// Package lint implements noclint, the repository's domain-aware static
+// analysis suite. The simulator's headline guarantee — bit-identical
+// results at any -jobs value, paired seeds per traffic cell — is dynamic
+// by nature: a golden test only catches nondeterminism on the path it
+// happens to execute. noclint encodes the invariants behind that
+// guarantee as machine-checked rules over the module's syntax trees and
+// type information, so a future change cannot silently reintroduce a
+// wall-clock read, an unordered map walk in an exporter, a side effect
+// in a routing function, or ad-hoc seed arithmetic.
+//
+// The suite is pure standard library (go/parser + go/types with the
+// source importer); run it from the module root:
+//
+//	go run ./cmd/noclint ./...
+//
+// A finding can be waived at a specific line with a suppression comment
+// carrying the rule name and a reason:
+//
+//	s.wallStart = time.Now() //noclint:allow determinism wall-clock self-metrics only
+//
+// The comment may also sit on the line directly above the flagged one.
+// Suppressions without a reason, or naming an unknown rule, are
+// themselves findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package bundles one type-checked package for the analyzers: its syntax
+// trees, the shared file set, and full type information.
+type Package struct {
+	// Path is the package's import path. Fixture packages are loaded
+	// under synthetic paths so path-scoped rules apply to them.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one checked invariant: a rule name (the suppression key),
+// a one-line contract, a package-path scope, and the checker itself.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies reports whether the rule is in force for a package path.
+	Applies func(pkgPath string) bool
+	Run     func(p *Package) []Finding
+}
+
+// Analyzers returns the full rule suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzeDeterminism,
+		analyzeExhaustive,
+		analyzeMapOrder,
+		analyzeRoutePurity,
+		analyzeSeedIdentity,
+	}
+}
+
+// knownRules returns the valid //noclint:allow rule names.
+func knownRules() map[string]bool {
+	m := map[string]bool{ruleTypecheck: true}
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// deterministicRoots are the packages whose code feeds simulation
+// results: everything under them must be a pure function of Config and
+// seed. obs and cli sit outside — they observe runs (wall-clock speed,
+// uptime) without feeding results back in.
+var deterministicRoots = []string{
+	"nocsim/internal/sim",
+	"nocsim/internal/exp",
+	"nocsim/internal/router",
+	"nocsim/internal/routing",
+	"nocsim/internal/network",
+}
+
+// underAny reports whether path is one of roots or nested below one.
+func underAny(path string, roots []string) bool {
+	for _, r := range roots {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// inModule reports whether path belongs to this module (module-wide
+// rules apply to it).
+func inModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
+// modulePath is the import path of the module under analysis.
+const modulePath = "nocsim"
+
+// Loader parses and type-checks packages against a shared file set and
+// source importer, so repeated loads reuse the checked dependency graph.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader. The source importer resolves imports by
+// type-checking dependencies from source; it must run with the module
+// root as working directory so module-relative imports resolve.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses the non-test Go files of dir and type-checks them as
+// import path asPath. Type errors are returned as findings (rule
+// "typecheck") rather than aborting, so a partially broken tree still
+// gets the rest of its report.
+func (l *Loader) Load(dir, asPath string) (*Package, []Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var tfs []Finding
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				tfs = append(tfs, Finding{Pos: te.Fset.Position(te.Pos), Rule: ruleTypecheck, Msg: te.Msg})
+			} else {
+				tfs = append(tfs, Finding{Rule: ruleTypecheck, Msg: err.Error()})
+			}
+		},
+	}
+	pkg, _ := conf.Check(asPath, l.fset, files, info)
+	return &Package{Path: asPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, tfs, nil
+}
+
+// Check runs every applicable analyzer on p and returns the surviving
+// findings after suppression filtering, sorted.
+func Check(p *Package) []Finding {
+	var out []Finding
+	for _, a := range Analyzers() {
+		if !a.Applies(p.Path) {
+			continue
+		}
+		out = append(out, a.Run(p)...)
+	}
+	kept, bad := applySuppressions(p, out)
+	out = append(kept, bad...)
+	SortFindings(out)
+	return out
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// PackageDirs lists the directories under root holding at least one
+// non-test Go file, skipping testdata, vendor and hidden trees. Paths
+// come back sorted and root-relative ("." for the root package).
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	dirs = compactStrings(dirs)
+	return dirs, nil
+}
+
+// compactStrings removes adjacent duplicates from a sorted slice.
+func compactStrings(s []string) []string {
+	out := s[:0]
+	for _, v := range s {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// importPathFor maps a root-relative package directory to its import
+// path.
+func importPathFor(rel string) string {
+	if rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + filepath.ToSlash(rel)
+}

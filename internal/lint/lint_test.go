@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureCases pairs each rule with the synthetic import path that puts
+// its fixtures inside the rule's scope.
+var fixtureCases = []struct {
+	rule   string
+	asPath string
+}{
+	{"determinism", "nocsim/internal/sim/fixture"},
+	{"exhaustive", "nocsim/internal/lint/fixture"},
+	{"maporder", "nocsim/internal/lint/fixture"},
+	{"routepurity", "nocsim/internal/routing/fixture"},
+	{"seedident", "nocsim/internal/sim/fixture"},
+}
+
+// checkFixture loads one fixture package and returns its findings for
+// the rule under test, plus any suppression-hygiene findings (a
+// malformed //noclint:allow in a fixture is a fixture bug).
+func checkFixture(t *testing.T, l *Loader, dir, asPath, rule string) []Finding {
+	t.Helper()
+	p, tfs, err := l.Load(dir, asPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, f := range tfs {
+		t.Fatalf("fixture %s does not type-check: %s: %s", dir, f.Pos, f.Msg)
+	}
+	var out []Finding
+	for _, f := range Check(p) {
+		if f.Rule == rule || f.Rule == ruleSuppression {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestFixtures exercises every rule against its bad / good / allowed
+// fixture triple: at least one true positive, a clean pass, and an
+// honored //noclint:allow suppression.
+func TestFixtures(t *testing.T) {
+	l := NewLoader()
+	for _, tc := range fixtureCases {
+		t.Run(tc.rule, func(t *testing.T) {
+			base := filepath.Join("testdata", tc.rule)
+			if bad := checkFixture(t, l, filepath.Join(base, "bad"), tc.asPath, tc.rule); len(bad) == 0 {
+				t.Errorf("%s/bad: want at least one finding, got none", tc.rule)
+			}
+			if good := checkFixture(t, l, filepath.Join(base, "good"), tc.asPath, tc.rule); len(good) != 0 {
+				t.Errorf("%s/good: unexpected findings: %v", tc.rule, good)
+			}
+			if allowed := checkFixture(t, l, filepath.Join(base, "allowed"), tc.asPath, tc.rule); len(allowed) != 0 {
+				t.Errorf("%s/allowed: suppression not honored: %v", tc.rule, allowed)
+			}
+		})
+	}
+}
+
+// TestScopes pins the path scoping: result-producing roots are covered
+// by determinism, the observability layer is not, and nothing outside
+// the module is.
+func TestScopes(t *testing.T) {
+	det := analyzeDeterminism.Applies
+	for path, want := range map[string]bool{
+		"nocsim/internal/sim":         true,
+		"nocsim/internal/sim/fixture": true,
+		"nocsim/internal/routing":     true,
+		"nocsim/internal/obs":         false,
+		"nocsim/internal/cli":         false,
+		"nocsim/internal/simx":        false,
+		"other/internal/sim":          false,
+	} {
+		if got := det(path); got != want {
+			t.Errorf("determinism applies(%s) = %v, want %v", path, got, want)
+		}
+	}
+	if inModule("nocsimx/internal/sim") {
+		t.Error("inModule must not match a foreign module sharing the prefix")
+	}
+}
+
+// reportLine matches the stable "path:line:col: rule: message" format.
+var reportLine = regexp.MustCompile(`^[^:]+\.go:\d+:\d+: [a-z]+: .+$`)
+
+// TestMainExitCodes drives the CLI entry point: nonzero with a sorted,
+// stable report on a bad fixture, zero on a clean one.
+func TestMainExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-pkgpath", "nocsim/internal/sim/fixture", "testdata/determinism/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("bad fixture: exit %d (stderr %q), want 1", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("bad fixture: no report lines on stdout")
+	}
+	for _, line := range lines {
+		if !reportLine.MatchString(line) {
+			t.Errorf("report line %q does not match path:line:col: rule: msg", line)
+		}
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("report not sorted:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr %q missing the finding count", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = Main([]string{"-pkgpath", "nocsim/internal/sim/fixture", "testdata/determinism/good"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("good fixture: exit %d (stdout %q), want 0", code, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("good fixture: unexpected output %q", stdout.String())
+	}
+}
+
+// TestRepositoryClean runs the full suite over the module tip — the tree
+// must stay noclint-clean, so CI failures reproduce locally as a test.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is slow")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	for _, rel := range rels {
+		p, tfs, err := l.Load(filepath.Join(root, rel), importPathFor(rel))
+		if err != nil {
+			t.Fatalf("load %s: %v", rel, err)
+		}
+		for _, f := range append(tfs, Check(p)...) {
+			t.Errorf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzeRoutePurity enforces the routing contract: a Route method (and
+// every same-package function it reaches) is a decision function — it
+// may read the router's View and draw from the decision's own RNG, but
+// it must not mutate reachable state, send on channels, or talk to the
+// observability layer. This is the static twin of the dynamic
+// replay-purity property test: the paper's paired-seed comparisons are
+// only meaningful if routing cannot perturb the fabric it is inspecting.
+//
+// Concretely, in internal/routing, starting from every method named
+// Route and walking same-package static calls:
+//
+//   - no assignment whose target can alias caller-visible memory
+//     (fields through pointers/receivers, slice/map elements, derefs);
+//     writes to function-local value variables stay legal,
+//   - no channel sends or close,
+//   - no calls to router.MetricsSink methods (or any value implementing
+//     it) — metrics are the router's job, after the decision.
+var analyzeRoutePurity = &Analyzer{
+	Name: "routepurity",
+	Doc:  "Route and its helpers read state but never write, send or emit metrics",
+	Applies: func(path string) bool {
+		const root = "nocsim/internal/routing"
+		return path == root || len(path) > len(root) && path[:len(root)+1] == root+"/"
+	},
+	Run: runRoutePurity,
+}
+
+func runRoutePurity(p *Package) []Finding {
+	// Index the package's function declarations by their object so the
+	// walk can follow static calls.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	sink := metricsSinkInterface(p)
+	var out []Finding
+	visited := map[*types.Func]bool{}
+
+	var visit func(obj *types.Func, fd *ast.FuncDecl, root string)
+	visit = func(obj *types.Func, fd *ast.FuncDecl, root string) {
+		if visited[obj] {
+			return
+		}
+		visited[obj] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					out = appendImpureWrite(p, out, fd, lhs, root)
+				}
+			case *ast.IncDecStmt:
+				out = appendImpureWrite(p, out, fd, x.X, root)
+			case *ast.SendStmt:
+				out = append(out, finding(p, x.Pos(), "routepurity",
+					fmt.Sprintf("channel send inside %s: routing decisions must not signal other goroutines", root)))
+			case *ast.CallExpr:
+				if isBuiltin(p.Info, x, "close") {
+					out = append(out, finding(p, x.Pos(), "routepurity",
+						fmt.Sprintf("close inside %s: routing decisions must not manage channels", root)))
+					return true
+				}
+				fn := calleeFunc(p.Info, x)
+				if fn == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if isMetricsSinkRecv(sig.Recv().Type(), sink) {
+						out = append(out, finding(p, x.Pos(), "routepurity",
+							fmt.Sprintf("MetricsSink call %s inside %s: metrics are emitted by the router, not the algorithm", fn.Name(), root)))
+					}
+					return true
+				}
+				// Follow same-package static calls.
+				if next, ok := decls[fn]; ok {
+					visit(fn, next, root)
+				}
+			}
+			return true
+		})
+	}
+
+	for obj, fd := range decls {
+		if fd.Name.Name == "Route" && fd.Recv != nil {
+			visit(obj, fd, routeLabel(p, fd))
+		}
+	}
+	return out
+}
+
+// routeLabel names a Route root for messages, e.g. "(*Footprint).Route".
+func routeLabel(p *Package, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	if n := namedType(p.Info.Types[fd.Recv.List[0].Type].Type); n != nil {
+		return "(*" + n.Obj().Name() + ").Route"
+	}
+	return fd.Name.Name
+}
+
+// appendImpureWrite flags an assignment target that can alias memory
+// outside the function. A write is pure only when its base identifier
+// is a non-reference local (declared inside the function, value type)
+// and no pointer was dereferenced on the way.
+func appendImpureWrite(p *Package, out []Finding, fd *ast.FuncDecl, lhs ast.Expr, root string) []Finding {
+	base, deref := leftmostIdent(lhs)
+	if base == nil {
+		return append(out, finding(p, lhs.Pos(), "routepurity",
+			fmt.Sprintf("write through %s inside %s", exprString(p.Fset, lhs), root)))
+	}
+	if base.Name == "_" {
+		return out
+	}
+	obj := p.Info.ObjectOf(base)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		// Package-level func/const cannot be assigned; a nil object is a
+		// fresh := definition, which is local by construction.
+		if obj == nil && !deref {
+			return out
+		}
+		return append(out, finding(p, lhs.Pos(), "routepurity",
+			fmt.Sprintf("write to %s inside %s", exprString(p.Fset, lhs), root)))
+	}
+	local := v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+	switch {
+	case !local:
+		return append(out, finding(p, lhs.Pos(), "routepurity",
+			fmt.Sprintf("write to package state %s inside %s", exprString(p.Fset, lhs), root)))
+	case deref, isReferenceType(v.Type()) && lhs != ast.Expr(base):
+		// Writing *through* a local pointer/slice/map reaches shared
+		// memory; rebinding the local itself (base = ...) is fine.
+		return append(out, finding(p, lhs.Pos(), "routepurity",
+			fmt.Sprintf("write through reference %s inside %s: may mutate router state", exprString(p.Fset, lhs), root)))
+	}
+	return out
+}
+
+// metricsSinkInterface finds router.MetricsSink among the package's
+// imports, or nil when the package does not import the router.
+func metricsSinkInterface(p *Package) *types.Interface {
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() != "nocsim/internal/router" {
+			continue
+		}
+		if tn, ok := imp.Scope().Lookup("MetricsSink").(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// isMetricsSinkRecv reports whether a method receiver type is (or
+// implements) the router's MetricsSink seam.
+func isMetricsSinkRecv(recv types.Type, sink *types.Interface) bool {
+	if n := namedType(recv); n != nil && n.Obj().Name() == "MetricsSink" {
+		if pkg := n.Obj().Pkg(); pkg != nil && pkg.Path() == "nocsim/internal/router" {
+			return true
+		}
+	}
+	if sink == nil {
+		return false
+	}
+	return types.Implements(recv, sink) || types.Implements(types.NewPointer(recv), sink)
+}

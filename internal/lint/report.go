@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rule names used by the driver itself (analyzers carry their own).
+const (
+	ruleTypecheck   = "typecheck"
+	ruleSuppression = "suppression"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// SortFindings orders findings by file, line, column, rule and message —
+// a total order, so two runs over the same tree print byte-identical
+// reports and CI diffs are reproducible.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// WriteFindings prints findings one per line as
+// "path:line:col: rule: message", with paths relative to base when
+// possible so reports do not embed the checkout location.
+func WriteFindings(w io.Writer, fs []Finding, base string) {
+	for _, f := range fs {
+		name := f.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		if name == "" {
+			fmt.Fprintf(w, "%s: %s\n", f.Rule, f.Msg)
+			continue
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	}
+}
+
+// Main is the noclint entry point: it lints the packages named by the
+// patterns (directories, or ./... for the whole module) and returns the
+// process exit code — 0 clean, 1 findings, 2 usage or load failure.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("noclint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	pkgPath := fl.String("pkgpath", "", "lint a single directory under this synthetic import path (fixture mode)")
+	list := fl.Bool("rules", false, "list the rule suite and exit")
+	fl.Usage = func() {
+		fmt.Fprintf(stderr, "usage: noclint [-pkgpath path] [-rules] ./...\n")
+		fl.PrintDefaults()
+	}
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fl.Args()
+	if len(patterns) == 0 {
+		fl.Usage()
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "noclint:", err)
+		return 2
+	}
+	root, err := ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "noclint:", err)
+		return 2
+	}
+
+	// Resolve patterns to (dir, import path) pairs.
+	type target struct{ dir, path string }
+	var targets []target
+	for _, pat := range patterns {
+		switch {
+		case *pkgPath != "":
+			targets = append(targets, target{pat, *pkgPath})
+		case pat == "./..." || pat == "...":
+			rels, err := PackageDirs(root)
+			if err != nil {
+				fmt.Fprintln(stderr, "noclint:", err)
+				return 2
+			}
+			for _, rel := range rels {
+				targets = append(targets, target{filepath.Join(root, rel), importPathFor(rel)})
+			}
+		default:
+			abs, err := filepath.Abs(pat)
+			if err != nil {
+				fmt.Fprintln(stderr, "noclint:", err)
+				return 2
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil || filepath.IsAbs(rel) || escapesRoot(rel) {
+				fmt.Fprintf(stderr, "noclint: %s is outside the module\n", pat)
+				return 2
+			}
+			targets = append(targets, target{abs, importPathFor(rel)})
+		}
+	}
+
+	loader := NewLoader()
+	var all []Finding
+	for _, t := range targets {
+		p, tfs, err := loader.Load(t.dir, t.path)
+		if err != nil {
+			fmt.Fprintln(stderr, "noclint:", err)
+			return 2
+		}
+		all = append(all, tfs...)
+		all = append(all, Check(p)...)
+	}
+	SortFindings(all)
+	WriteFindings(stdout, all, root)
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "noclint: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+// escapesRoot reports whether a relative path escapes the module root.
+func escapesRoot(rel string) bool {
+	return rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}

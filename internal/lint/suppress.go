@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// suppressPrefix introduces a suppression comment:
+//
+//	//noclint:allow <rule> <reason>
+//
+// It waives findings of <rule> on the comment's own line (trailing
+// comment) and on the line directly below (comment-above form). The
+// reason is mandatory: a waiver without a recorded justification is
+// itself reported.
+const suppressPrefix = "//noclint:allow"
+
+// allowance is one parsed suppression comment.
+type allowance struct {
+	rule   string
+	reason string
+	line   int
+	file   string
+}
+
+// collectAllowances parses every suppression comment of the package.
+// Malformed comments (no rule, unknown rule, missing reason) come back
+// as findings.
+func collectAllowances(p *Package) ([]allowance, []Finding) {
+	rules := knownRules()
+	var allows []allowance
+	var bad []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, suppressPrefix))
+				rule, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case rule == "":
+					bad = append(bad, Finding{Pos: pos, Rule: ruleSuppression,
+						Msg: "suppression names no rule; write //noclint:allow <rule> <reason>"})
+				case !rules[rule]:
+					bad = append(bad, Finding{Pos: pos, Rule: ruleSuppression,
+						Msg: "suppression names unknown rule " + rule})
+				case reason == "":
+					bad = append(bad, Finding{Pos: pos, Rule: ruleSuppression,
+						Msg: "suppression of " + rule + " gives no reason"})
+				default:
+					allows = append(allows, allowance{rule: rule, reason: reason, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// applySuppressions drops findings waived by a matching allowance and
+// returns the survivors plus the findings for malformed suppressions.
+func applySuppressions(p *Package, fs []Finding) (kept, bad []Finding) {
+	allows, bad := collectAllowances(p)
+	if len(allows) == 0 {
+		return fs, bad
+	}
+	waived := func(f Finding) bool {
+		for _, a := range allows {
+			if a.rule == f.Rule && a.file == f.Pos.Filename &&
+				(a.line == f.Pos.Line || a.line == f.Pos.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+	kept = fs[:0]
+	for _, f := range fs {
+		if !waived(f) {
+			kept = append(kept, f)
+		}
+	}
+	return kept, bad
+}
+
+// nodeLine returns the 1-based line of a node's position.
+func nodeLine(p *Package, n ast.Node) int {
+	return p.Fset.Position(n.Pos()).Line
+}

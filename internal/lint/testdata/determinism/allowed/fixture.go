@@ -1,0 +1,9 @@
+// Package fixture: a wall-clock read waived with a reasoned suppression.
+package fixture
+
+import "time"
+
+// Uptime reports elapsed wall time for self-metrics.
+func Uptime(start time.Time) float64 {
+	return time.Since(start).Seconds() //noclint:allow determinism wall-clock self-metrics only, never feeds results
+}

@@ -1,0 +1,17 @@
+// Package fixture: wall-clock and global math/rand reads inside a
+// deterministic package. noclint must flag both.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from hidden global state and the wall clock.
+func Jitter() int {
+	n := rand.Intn(100)
+	if time.Now().Unix()%2 == 0 {
+		n++
+	}
+	return n
+}

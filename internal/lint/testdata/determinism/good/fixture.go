@@ -1,0 +1,11 @@
+// Package fixture: explicitly seeded randomness, the legal form in a
+// deterministic package.
+package fixture
+
+import "math/rand"
+
+// Draw uses a caller-seeded generator; methods on *rand.Rand are fine.
+func Draw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}

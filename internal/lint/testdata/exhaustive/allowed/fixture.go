@@ -1,0 +1,24 @@
+// Package fixture: an intentionally partial enum switch waived with a
+// reasoned suppression on the line above.
+package fixture
+
+// Port is a closed enum of router ports.
+type Port int
+
+const (
+	PortEast Port = iota
+	PortWest
+	PortLocal
+)
+
+// Mirror only ever sees the two horizontal ports.
+func Mirror(p Port) Port {
+	//noclint:allow exhaustive callers filter to horizontal ports first
+	switch p {
+	case PortEast:
+		return PortWest
+	case PortWest:
+		return PortEast
+	}
+	return p
+}

@@ -1,0 +1,26 @@
+// Package fixture: a switch over a closed enum with a silent default
+// that hides a missing constant. noclint must flag it.
+package fixture
+
+// Port is a closed enum of router ports.
+type Port int
+
+const (
+	PortEast Port = iota
+	PortWest
+	PortLocal
+)
+
+// Name misses PortLocal and swallows it in a non-panicking default.
+func Name(p Port) string {
+	s := "?"
+	switch p {
+	case PortEast:
+		s = "E"
+	case PortWest:
+		s = "W"
+	default:
+		s = "-"
+	}
+	return s
+}

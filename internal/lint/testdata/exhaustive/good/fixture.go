@@ -1,0 +1,35 @@
+// Package fixture: the two legal switch shapes over a closed enum —
+// full coverage, or a panicking default.
+package fixture
+
+// Port is a closed enum of router ports.
+type Port int
+
+const (
+	PortEast Port = iota
+	PortWest
+	PortLocal
+)
+
+// Name covers every constant.
+func Name(p Port) string {
+	switch p {
+	case PortEast:
+		return "E"
+	case PortWest:
+		return "W"
+	case PortLocal:
+		return "L"
+	}
+	return "?"
+}
+
+// Axis covers a subset but panics on anything else.
+func Axis(p Port) string {
+	switch p {
+	case PortEast, PortWest:
+		return "x"
+	default:
+		panic("fixture: port has no axis")
+	}
+}

@@ -1,0 +1,15 @@
+// Package fixture: a map serialized in iteration order — the bytes
+// differ run to run. noclint must flag it.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCounts emits key/value pairs straight from the map walk.
+func WriteCounts(w io.Writer, counts map[string]int) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}

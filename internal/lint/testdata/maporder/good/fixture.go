@@ -1,0 +1,21 @@
+// Package fixture: the blessed collect-and-sort idiom for serializing a
+// map deterministically.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCounts collects keys, sorts them, then emits in stable order.
+func WriteCounts(w io.Writer, counts map[string]int) {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, counts[k])
+	}
+}

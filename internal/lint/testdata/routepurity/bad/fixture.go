@@ -1,0 +1,21 @@
+// Package fixture: a Route method that mutates receiver state and
+// signals another goroutine through a helper. noclint must flag both.
+package fixture
+
+// Alg is a stateful routing algorithm.
+type Alg struct {
+	calls int
+	done  chan struct{}
+}
+
+// Route counts invocations on the receiver and signals mid-decision.
+func (a *Alg) Route(reqs []int) []int {
+	a.calls++
+	signal(a.done)
+	return reqs
+}
+
+// signal is reached from Route via the same-package call walk.
+func signal(c chan struct{}) {
+	c <- struct{}{}
+}

@@ -1,0 +1,26 @@
+// Package fixture: a pure Route — reads receiver state, writes only
+// function-local values.
+package fixture
+
+// Alg scores candidates against fixed weights.
+type Alg struct {
+	weights []int
+}
+
+// Route picks the best-scoring request without touching shared state.
+func (a *Alg) Route(reqs []int) []int {
+	best, score := -1, -1
+	for _, r := range reqs {
+		s := 0
+		if r >= 0 && r < len(a.weights) {
+			s = a.weights[r]
+		}
+		if s > score {
+			best, score = r, s
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return []int{best}
+}

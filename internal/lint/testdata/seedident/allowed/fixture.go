@@ -1,0 +1,7 @@
+// Package fixture: a legacy seed offset kept under a reasoned waiver.
+package fixture
+
+// LegacySeed preserves a historical stream layout.
+func LegacySeed(seed int64) int64 {
+	return seed + 1 //noclint:allow seedident frozen offset kept for golden-file compatibility
+}

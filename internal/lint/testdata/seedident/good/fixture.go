@@ -1,0 +1,16 @@
+// Package fixture: the two blessed seed flows — DeriveSeed for stream
+// seeds, RunIdentity for Config.Seed.
+package fixture
+
+import "nocsim/internal/sim"
+
+// StreamSeed mints a per-run seed through the hash-based deriver.
+func StreamSeed(seed int64, label string) int64 {
+	return sim.DeriveSeed(seed, "fixture/"+label)
+}
+
+// Stamp applies an identity's seed to a config.
+func Stamp(cfg sim.Config, id sim.RunIdentity) sim.Config {
+	cfg.Seed = id.Seed
+	return cfg
+}

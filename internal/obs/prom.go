@@ -153,8 +153,8 @@ func (h *Hub) writeMetrics(w io.Writer) error {
 	p.Sample("nocsim_runs_completed_total", nil, float64(h.completed))
 	p.Family("nocsim_runs_active", "Simulation runs currently executing.", "gauge")
 	active := 0
-	for _, r := range h.runs {
-		if !r.Done {
+	for _, id := range h.order {
+		if r, ok := h.runs[id]; ok && !r.Done {
 			active++
 		}
 	}

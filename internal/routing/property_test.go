@@ -165,6 +165,30 @@ func TestRoutingInvariantsRandomized(t *testing.T) {
 	}
 }
 
+// TestRouteLeavesViewUntouched is the dynamic twin of noclint's
+// routepurity rule: a routing decision reads the router's View but must
+// not mutate it — the paired-seed comparisons only hold if routing
+// cannot perturb the fabric it inspects. The view is deep-copied before
+// every Route call and compared structurally after.
+func TestRouteLeavesViewUntouched(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			alg := MustNew(name)
+			rng := rand.New(rand.NewSource(23))
+			for trial := 0; trial < 200; trial++ {
+				s := walkScenario(rng, alg)
+				snapshot := s.view.clone()
+				alg.Route(s.ctx(int64(trial)), nil)
+				if !reflect.DeepEqual(snapshot, s.view) {
+					t.Fatalf("trial %d: Route mutated the view:\nbefore: %+v\nafter:  %+v",
+						trial, snapshot, s.view)
+				}
+			}
+		})
+	}
+}
+
 // TestFootprintCandidatesWithinAdaptiveQuadrant pins Footprint's
 // defining property: it regulates adaptiveness within the fully-adaptive
 // minimal quadrant — candidates are a subset of the quadrant, never

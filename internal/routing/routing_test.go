@@ -46,6 +46,29 @@ func (f *fakeView) VCRegOwner(d topo.Direction, v int) int {
 }
 func (f *fakeView) DownstreamIdle(d topo.Direction, _ int) int { return f.downstream[d] }
 
+// clone deep-copies the view so a mutation by Route is detectable by
+// comparing against the snapshot.
+func (f *fakeView) clone() *fakeView {
+	c := &fakeView{
+		numVCs:     f.numVCs,
+		owner:      map[topo.Direction][]int{},
+		downstream: map[topo.Direction]int{},
+	}
+	for d, o := range f.owner {
+		c.owner[d] = append([]int(nil), o...)
+	}
+	if f.regOwner != nil {
+		c.regOwner = map[topo.Direction][]int{}
+		for d, o := range f.regOwner {
+			c.regOwner[d] = append([]int(nil), o...)
+		}
+	}
+	for d, n := range f.downstream {
+		c.downstream[d] = n
+	}
+	return c
+}
+
 func testCtx(m topo.Mesh, cur, dest int, v View) *Context {
 	return &Context{
 		Mesh: m, Cur: cur, Dest: dest, InDir: topo.Local,

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"nocsim/internal/flit"
 	"nocsim/internal/traffic"
@@ -60,11 +61,7 @@ func HotspotRun(cfg Config, bgRate, rate float64) (HotspotPoint, error) {
 		sources = append(sources, s)
 	}
 	// Deterministic source order for reproducibility.
-	for i := 1; i < len(sources); i++ {
-		for j := i; j > 0 && sources[j] < sources[j-1]; j-- {
-			sources[j], sources[j-1] = sources[j-1], sources[j]
-		}
-	}
+	sort.Ints(sources)
 
 	hot := &traffic.Generator{
 		Nodes:   sources,

@@ -55,8 +55,10 @@ func (d Direction) Opposite() Direction {
 		return South
 	case South:
 		return North
-	default:
+	case Local:
 		return Local
+	default:
+		panic(fmt.Sprintf("topo: Opposite of invalid direction %d", int(d)))
 	}
 }
 
@@ -120,8 +122,10 @@ func (m Mesh) Neighbor(node int, d Direction) (int, bool) {
 		c.Y--
 	case South:
 		c.Y++
-	default:
+	case Local:
 		return -1, false
+	default:
+		panic(fmt.Sprintf("topo: Neighbor of invalid direction %d", int(d)))
 	}
 	if !m.Contains(c) {
 		return -1, false
