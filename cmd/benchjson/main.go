@@ -1,116 +1,83 @@
 // Command benchjson runs the repository's benchmark suite and writes the
 // results as machine-readable JSON: ns/op, B/op, allocs/op and every
 // custom b.ReportMetric unit of each benchmark, plus an engine reference
-// run reporting the simulator's cycles/s and flit-hops/s and a
+// run reporting the simulator's cycles/s, flit-hops/s and cycle-loop
+// phase profile (per-phase time and allocation breakdown), and a
 // parallel-sweep reference run recording the -jobs worker pool's speedup
 // and determinism on a fixed Figure 5 grid. CI runs it in quick mode and
 // uploads the file as an artifact, so performance history is a download
-// away rather than buried in job logs.
+// away rather than buried in job logs; cmd/perfgate diffs consecutive
+// reports.
 //
 //	benchjson                           # full suite -> BENCH_<n>.json
 //	benchjson -bench 'Figure5|Table2' -benchtime 1x
 //	benchjson -jobs 4 -o bench.json
+//	benchjson -cpuprofile cpu.pprof -memprofile heap.pprof
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"path/filepath"
-	"regexp"
 	"runtime"
-	"strconv"
+	rpprof "runtime/pprof"
 	"strings"
 	"time"
 
 	"nocsim"
+	"nocsim/internal/bench"
 	"nocsim/internal/cli"
 	"nocsim/internal/exp"
 	"nocsim/internal/sim"
 )
 
-// Report is the JSON document benchjson writes.
-type Report struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	BenchRegexp string        `json:"bench_regexp"`
-	BenchTime   string        `json:"bench_time"`
-	Engine      Engine        `json:"engine"`
-	Parallel    ParallelSweep `json:"parallel_sweep"`
-	Benchmarks  []Bench       `json:"benchmarks"`
-}
-
-// Engine is a fixed reference run of the simulation engine (Table 2
-// baseline, uniform traffic at 0.3 flits/node/cycle, quick profile) —
-// the simulator's own speed, independent of benchmark iteration counts.
-type Engine struct {
-	Cycles         int64   `json:"cycles"`
-	WallSeconds    float64 `json:"wall_seconds"`
-	CyclesPerSec   float64 `json:"cycles_per_sec"`
-	FlitHops       int64   `json:"flit_hops"`
-	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
-	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
-	HeapAllocs     uint64  `json:"heap_allocs"`
-}
-
-// ParallelSweep is a fixed reference sweep (Figure 5, uniform traffic,
-// reduced rate grid) run twice — serially, then on the -jobs worker
-// pool — recording the wall-clock ratio and whether the two sweeps
-// formatted identically (the engine's determinism guarantee).
-type ParallelSweep struct {
-	CPUs            int     `json:"cpus"`
-	Jobs            int     `json:"jobs"`
-	Runs            int     `json:"runs"`
-	SerialSeconds   float64 `json:"serial_seconds"`
-	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
-	Identical       bool    `json:"identical"`
-}
-
-// Bench is one parsed benchmark result line.
-type Bench struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	// Metrics holds the custom b.ReportMetric units (satTP, latency
-	// cycles, cycles/s, ...).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
 func main() {
-	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchRe := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration per benchmark)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("o", "", "output file (default: next free BENCH_<n>.json)")
 	skipEngine := flag.Bool("skip-engine", false, "skip the engine reference run")
 	skipParallel := flag.Bool("skip-parallel", false, "skip the parallel-sweep reference run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the reference runs to this file (pprof format, with per-run labels)")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the reference runs to this file")
 	jobs := cli.NewJobs()
 	flag.Parse()
 
-	rep := Report{
+	rep := bench.Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
-		BenchRegexp: *bench,
+		BenchRegexp: *benchRe,
 		BenchTime:   *benchtime,
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			rpprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchjson: wrote CPU profile to %s\n", *cpuprofile)
+		}()
 	}
 
 	if !*skipEngine {
 		cfg := exp.QuickProfile().BaseConfig()
+		cfg.Obs.Profile = true // phase breakdown rides along in the report
 		res, err := nocsim.Run(cfg, "uniform", 0.3)
 		if err != nil {
 			fatal(err)
 		}
 		rt := res.Runtime
-		rep.Engine = Engine{
+		rep.Engine = bench.Engine{
 			Cycles:         rt.Cycles,
 			WallSeconds:    rt.WallSeconds,
 			CyclesPerSec:   rt.CyclesPerSec,
@@ -118,8 +85,12 @@ func main() {
 			FlitHopsPerSec: rt.FlitHopsPerSec,
 			HeapAllocBytes: rt.HeapAllocBytes,
 			HeapAllocs:     rt.HeapAllocs,
+			Profile:        res.PerfProfile,
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: engine reference %s\n", rt.String())
+		if pp := res.PerfProfile; pp != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: engine phases %s\n", pp.String())
+		}
 	}
 
 	if !*skipParallel {
@@ -128,13 +99,31 @@ func main() {
 			fatal(err)
 		}
 		rep.Parallel = ps
+		note := ""
+		if ps.Degenerate() {
+			note = " [degenerate: host cannot run jobs in parallel]"
+		}
 		fmt.Fprintf(os.Stderr,
-			"benchjson: parallel sweep %d runs: serial %.2fs, jobs=%d %.2fs (%.2fx, identical=%v)\n",
-			ps.Runs, ps.SerialSeconds, ps.Jobs, ps.ParallelSeconds, ps.Speedup, ps.Identical)
+			"benchjson: parallel sweep %d runs: serial %.2fs, jobs=%d (effective %d) %.2fs (%.2fx, identical=%v)%s\n",
+			ps.Runs, ps.SerialSeconds, ps.Jobs, ps.EffectiveJobs, ps.ParallelSeconds, ps.Speedup, ps.Identical, note)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := rpprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "benchjson: wrote heap profile to %s\n", *memprofile)
 	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkg)
+		"-bench", *benchRe, "-benchtime", *benchtime, "-benchmem", *pkg)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -151,29 +140,19 @@ func main() {
 		fatal(fmt.Errorf("go test -bench: %w", err))
 	}
 	for _, line := range strings.Split(string(raw), "\n") {
-		if b, ok := parseBenchLine(line); ok {
+		if b, ok := bench.ParseLine(line); ok {
 			rep.Benchmarks = append(rep.Benchmarks, *b)
 		}
 	}
 	if len(rep.Benchmarks) == 0 {
-		fatal(fmt.Errorf("no benchmark results matched %q", *bench))
+		fatal(fmt.Errorf("no benchmark results matched %q", *benchRe))
 	}
 
 	path := *out
 	if path == "" {
-		path = nextBenchFile(".")
+		path = bench.NextPath(".")
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := bench.Write(path, &rep); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), path)
@@ -182,8 +161,11 @@ func main() {
 // parallelReference runs the reference sweep — Figure 5 (all seven
 // algorithms, single-flit packets) on uniform traffic over a three-point
 // rate grid at quick effort — once at Jobs=1 and once at the requested
-// worker count, and compares the formatted studies byte for byte.
-func parallelReference(jobs int) (ParallelSweep, error) {
+// worker count, and compares the formatted studies byte for byte. The
+// speedup is labeled degenerate when GOMAXPROCS cannot actually schedule
+// the requested workers in parallel, so a time-sliced host's ~1.0x is
+// not mistaken for a scaling regression.
+func parallelReference(jobs int) (bench.ParallelSweep, error) {
 	prof := exp.QuickProfile()
 	prof.Rates = []float64{0.1, 0.25, 0.4}
 
@@ -191,7 +173,7 @@ func parallelReference(jobs int) (ParallelSweep, error) {
 	t0 := time.Now()
 	serial, err := exp.Figure5(prof, "uniform")
 	if err != nil {
-		return ParallelSweep{}, err
+		return bench.ParallelSweep{}, err
 	}
 	serialSec := time.Since(t0).Seconds()
 
@@ -199,7 +181,7 @@ func parallelReference(jobs int) (ParallelSweep, error) {
 	t1 := time.Now()
 	par, err := exp.Figure5(prof, "uniform")
 	if err != nil {
-		return ParallelSweep{}, err
+		return bench.ParallelSweep{}, err
 	}
 	parSec := time.Since(t1).Seconds()
 
@@ -207,80 +189,26 @@ func parallelReference(jobs int) (ParallelSweep, error) {
 	for _, c := range serial.Curves {
 		runs += len(c.Points)
 	}
-	ps := ParallelSweep{
-		CPUs:            runtime.NumCPU(),
-		Jobs:            jobs,
-		Runs:            runs,
-		SerialSeconds:   serialSec,
-		ParallelSeconds: parSec,
-		Identical:       serial.Format() == par.Format(),
+	gomaxprocs := runtime.GOMAXPROCS(0)
+	effective := jobs
+	if gomaxprocs < effective {
+		effective = gomaxprocs
+	}
+	ps := bench.ParallelSweep{
+		CPUs:              runtime.NumCPU(),
+		GOMAXPROCS:        gomaxprocs,
+		Jobs:              jobs,
+		EffectiveJobs:     effective,
+		Runs:              runs,
+		SerialSeconds:     serialSec,
+		ParallelSeconds:   parSec,
+		SpeedupDegenerate: jobs > 1 && gomaxprocs < jobs,
+		Identical:         serial.Format() == par.Format(),
 	}
 	if parSec > 0 {
 		ps.Speedup = serialSec / parSec
 	}
 	return ps, nil
-}
-
-// parseBenchLine parses one `go test -bench` result line:
-//
-//	BenchmarkName-8   3   123456 ns/op   4.5 custom-unit   67 B/op   8 allocs/op
-func parseBenchLine(line string) (*Bench, bool) {
-	f := strings.Fields(line)
-	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-		return nil, false
-	}
-	iters, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return nil, false
-	}
-	name := strings.TrimPrefix(f[0], "Benchmark")
-	// Strip the -GOMAXPROCS suffix, keeping sub-benchmark slashes.
-	if i := strings.LastIndex(name, "-"); i > 0 && !strings.Contains(name[i:], "/") {
-		name = name[:i]
-	}
-	b := &Bench{Name: name, Iterations: iters}
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return nil, false
-		}
-		switch unit := f[i+1]; unit {
-		case "ns/op":
-			b.NsPerOp = v
-		case "B/op":
-			b.BytesPerOp = v
-		case "allocs/op":
-			b.AllocsPerOp = v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = map[string]float64{}
-			}
-			b.Metrics[unit] = v
-		}
-	}
-	return b, true
-}
-
-// benchFileRe matches previously written reports.
-var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
-
-// nextBenchFile returns BENCH_<n>.json for the smallest n greater than
-// every existing report in dir.
-func nextBenchFile(dir string) string {
-	next := 1
-	entries, err := os.ReadDir(dir)
-	if err == nil {
-		for _, e := range entries {
-			m := benchFileRe.FindStringSubmatch(e.Name())
-			if m == nil {
-				continue
-			}
-			if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
-				next = n + 1
-			}
-		}
-	}
-	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
 }
 
 func fatal(err error) {

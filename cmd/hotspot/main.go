@@ -49,8 +49,8 @@ func main() {
 		prof = exp.QuickProfile()
 	}
 	prof.Jobs = *jobs
-	lobs.ApplyProfile(&prof)
 	prof.Obs = export.Options()
+	lobs.ApplyProfile(&prof)
 
 	study, err := exp.Figure9(prof, *bg, nil)
 	if err != nil {

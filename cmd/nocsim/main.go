@@ -69,7 +69,6 @@ func main() {
 	}
 	lobs.Start()
 	defer lobs.Close()
-	lobs.ApplyConfig(&cfg)
 
 	if *countersOut != "" && *samplePeriod <= 0 {
 		*samplePeriod = 100
@@ -80,6 +79,7 @@ func main() {
 		SamplePeriod:  *samplePeriod,
 		Heatmap:       *heatmapOut != "",
 	}
+	lobs.ApplyConfig(&cfg)
 
 	p, err := traffic.ByName(*pattern, cfg.Mesh())
 	if err != nil {
@@ -117,6 +117,15 @@ func main() {
 	fmt.Printf("blocking           %d events, purity %.3f, HoL degree %.1f\n",
 		res.BlockEvents, res.Purity, res.HoLDegree)
 	fmt.Printf("runtime            %s\n", res.Runtime)
+	if pp := res.PerfProfile; pp != nil {
+		fmt.Printf("\nphase profile      %d sampled cycles (every %d), GC: %d cycles, %.1fms paused\n",
+			pp.SampledCycles, pp.SampleEvery, pp.GC.NumGC, float64(pp.GC.PauseTotalNanos)/1e6)
+		fmt.Printf("%18s %10s %8s %12s %10s\n", "phase", "time", "share", "alloc", "allocs")
+		for _, ph := range pp.Phases {
+			fmt.Printf("%18s %9.2fms %7.1f%% %11.1fKB %10d\n",
+				ph.Phase, float64(ph.Nanos)/1e6, 100*ph.TimeShare, float64(ph.AllocBytes)/1024, ph.Allocs)
+		}
+	}
 	if probe != nil {
 		snap := probe.Snapshot(cfg.Mesh())
 		fmt.Printf("\nmean link utilization %.3f over %d cycles (whole run)\n", snap.Mean(), snap.Cycles)

@@ -1,0 +1,85 @@
+// Command perfgate compares the newest BENCH_<n>.json performance
+// report against its predecessor and exits nonzero on regression. It
+// gates the metrics that are stable across machines — engine heap
+// allocations/bytes, per-benchmark allocs/op and B/op — plus engine
+// cycles/s under a wide wall-clock budget, and treats a lost
+// determinism bit (serial vs parallel sweep divergence) as a hard
+// failure no tolerance excuses. ns/op and parallel speedup are printed
+// for context but never gated: the first depends on -benchtime and host
+// load, the second is meaningless on hosts that cannot schedule the
+// workers in parallel (see speedup_degenerate).
+//
+//	perfgate                            # newest two BENCH_<n>.json in .
+//	perfgate -dir results               # ... in another directory
+//	perfgate -old BENCH_3.json -new BENCH_pr.json
+//	perfgate -tol-cycles 0.5            # widen the wall-clock budget (CI)
+//	perfgate -markdown summary.md       # GitHub job-summary table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nocsim/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json reports")
+	oldPath := flag.String("old", "", "predecessor report (default: second-newest in -dir)")
+	newPath := flag.String("new", "", "newest report (default: newest in -dir)")
+	markdown := flag.String("markdown", "", "also write the comparison as a markdown table to this file")
+	tol := bench.DefaultTolerances()
+	flag.Float64Var(&tol.CyclesPerSec, "tol-cycles", tol.CyclesPerSec,
+		"allowed fractional drop in engine cycles/s (wall clock; widen on shared CI hosts)")
+	flag.Float64Var(&tol.Allocs, "tol-allocs", tol.Allocs,
+		"allowed fractional growth in heap allocations and allocs/op")
+	flag.Float64Var(&tol.Bytes, "tol-bytes", tol.Bytes,
+		"allowed fractional growth in heap bytes and B/op")
+	flag.Parse()
+
+	op, np := *oldPath, *newPath
+	if op == "" && np == "" {
+		var err error
+		op, np, err = bench.LatestPair(*dir)
+		if err != nil {
+			fatal(err)
+		}
+	} else if op == "" || np == "" {
+		fatal(fmt.Errorf("-old and -new must be given together (or neither, to use the newest pair in -dir)"))
+	}
+
+	oldR, err := bench.Load(op)
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := bench.Load(np)
+	if err != nil {
+		fatal(err)
+	}
+
+	c := bench.Compare(oldR, newR, tol)
+	c.OldPath, c.NewPath = op, np
+	c.WriteText(os.Stdout)
+
+	if *markdown != "" {
+		f, err := os.Create(*markdown)
+		if err != nil {
+			fatal(err)
+		}
+		c.WriteMarkdown(f, newR)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println(c.Summary())
+	if !c.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfgate:", err)
+	os.Exit(1)
+}

@@ -35,8 +35,8 @@ func main() {
 		prof = exp.QuickProfile()
 	}
 	prof.Jobs = *jobs
-	lobs.ApplyProfile(&prof)
 	prof.Obs = export.Options()
+	lobs.ApplyProfile(&prof)
 
 	patterns := exp.SyntheticPatterns()
 	if *pattern != "" {

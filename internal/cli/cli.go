@@ -36,6 +36,8 @@ type Obs struct {
 	WatchdogCycles int64
 	WatchdogOut    string
 	PprofAddr      string
+	Profile        bool
+	ProfileEvery   int64
 
 	Hub    *obs.Hub
 	server *obs.Server
@@ -53,6 +55,10 @@ func NewObs(tool string) *Obs {
 		"stall snapshot JSON path (default nocsim-stall.json)")
 	flag.StringVar(&o.PprofAddr, "pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.BoolVar(&o.Profile, "phase-profile", false,
+		"profile the cycle loop: attribute time and allocations to pipeline phases on sampled cycles; results are unchanged")
+	flag.Int64Var(&o.ProfileEvery, "profile-every", 0,
+		"phase-profiler sampling period in cycles (0 = default 64)")
 	return o
 }
 
@@ -90,20 +96,29 @@ func (o *Obs) Close() {
 	}
 }
 
-// ApplyProfile copies the monitoring and watchdog flags onto an
-// experiment profile.
+// ApplyProfile copies the monitoring, watchdog and phase-profiler flags
+// onto an experiment profile.
 func (o *Obs) ApplyProfile(p *exp.Profile) {
 	p.Monitor = o.Hub
 	p.WatchdogCycles = o.WatchdogCycles
 	p.WatchdogOut = o.WatchdogOut
+	if o.Profile {
+		p.Obs.Profile = true
+		p.Obs.ProfileEvery = o.ProfileEvery
+	}
 }
 
-// ApplyConfig copies the monitoring and watchdog flags onto a single
-// simulation config.
+// ApplyConfig copies the monitoring, watchdog and phase-profiler flags
+// onto a single simulation config. Call it after the command has built
+// cfg.Obs, so the profiler selection survives.
 func (o *Obs) ApplyConfig(cfg *sim.Config) {
 	cfg.Monitor = o.Hub
 	cfg.WatchdogCycles = o.WatchdogCycles
 	cfg.WatchdogOut = o.WatchdogOut
+	if o.Profile {
+		cfg.Obs.Profile = true
+		cfg.Obs.ProfileEvery = o.ProfileEvery
+	}
 }
 
 // RunExport is the per-run collector flag set of the experiment

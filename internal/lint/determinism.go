@@ -16,8 +16,9 @@ import (
 //
 // Explicitly seeded generators (rand.New(rand.NewSource(seed))) and
 // *rand.Rand method calls stay legal. Wall-clock self-metrics that
-// never feed results (cycles/s reporting) carry //noclint:allow
-// waivers at their two sites in internal/sim.
+// never feed results (cycles/s reporting, the phase profiler) flow
+// through the single waived seam prof.Now in internal/prof; consumers
+// take a prof.Clock and need no waiver of their own.
 var analyzeDeterminism = &Analyzer{
 	Name: "determinism",
 	Doc:  "no wall clock or global math/rand state in result-producing packages",

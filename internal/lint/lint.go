@@ -81,13 +81,18 @@ func knownRules() map[string]bool {
 // deterministicRoots are the packages whose code feeds simulation
 // results: everything under them must be a pure function of Config and
 // seed. obs and cli sit outside — they observe runs (wall-clock speed,
-// uptime) without feeding results back in.
+// uptime) without feeding results back in. internal/prof is in scope on
+// purpose: it exists to concentrate the module's one sanctioned
+// wall-clock read behind a single waived seam (prof.Now), so a new
+// time.Now anywhere else in these roots — including prof itself — is a
+// finding.
 var deterministicRoots = []string{
 	"nocsim/internal/sim",
 	"nocsim/internal/exp",
 	"nocsim/internal/router",
 	"nocsim/internal/routing",
 	"nocsim/internal/network",
+	"nocsim/internal/prof",
 }
 
 // underAny reports whether path is one of roots or nested below one.

@@ -73,6 +73,7 @@ func TestScopes(t *testing.T) {
 		"nocsim/internal/sim":         true,
 		"nocsim/internal/sim/fixture": true,
 		"nocsim/internal/routing":     true,
+		"nocsim/internal/prof":        true,
 		"nocsim/internal/obs":         false,
 		"nocsim/internal/cli":         false,
 		"nocsim/internal/simx":        false,

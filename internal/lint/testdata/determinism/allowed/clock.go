@@ -1,0 +1,12 @@
+// The seam itself: the one place a deterministic tree may read the wall
+// clock, waived with a reason. This mirrors prof.Now — every other
+// wall-clock consumer calls through the returned value instead of
+// earning its own waiver.
+package fixture
+
+import "time"
+
+// now is the single sanctioned wall-clock read.
+func now() time.Time {
+	return time.Now() //noclint:allow determinism the one sanctioned wall-clock seam; feeds self-metrics only, never results
+}

@@ -1,0 +1,19 @@
+// The consumer side of the wall-clock seam: engine code that needs
+// timestamps takes an injected clock and calls it. Calls through a
+// function value are not time.Now and pass the rule without a waiver —
+// tests substitute fake clocks, production wires prof.Now.
+package fixture
+
+import "time"
+
+// clock mirrors prof.Clock.
+type clock func() time.Time
+
+// profiler accumulates wall time through the seam only.
+type profiler struct {
+	now   clock
+	start time.Time
+}
+
+func (p *profiler) begin()       { p.start = p.now() }
+func (p *profiler) nanos() int64 { return p.now().Sub(p.start).Nanoseconds() }

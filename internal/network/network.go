@@ -45,6 +45,60 @@ type Network struct {
 	// Sink, when set, receives every packet as its tail flit is consumed
 	// at the destination endpoint. Set it before offering traffic.
 	Sink func(p *flit.Packet)
+
+	// Probe, when set, observes the cycle loop's phase structure on the
+	// cycles it elects to sample (obs.PhaseProfiler implements it). The
+	// disabled path pays one nil check per cycle.
+	Probe PhaseProbe
+}
+
+// Phase identifies one stage of the fabric's cycle loop, in execution
+// order within Step. PhaseInjectEject covers both endpoint spans of a
+// cycle (flit receive at the top, consume/inject at the bottom);
+// PhaseSwitchAlloc covers switch allocation plus crossbar traversal;
+// PhaseLinkTraversal is the link pipeline tick.
+type Phase uint8
+
+const (
+	PhaseRouteCompute Phase = iota
+	PhaseVCAlloc
+	PhaseSwitchAlloc
+	PhaseLinkTraversal
+	PhaseInjectEject
+)
+
+// NumPhases is the phase count, for fixed-size per-phase accumulators.
+const NumPhases = int(PhaseInjectEject) + 1
+
+// String names the phase for reports and metric labels.
+func (p Phase) String() string {
+	switch p {
+	case PhaseRouteCompute:
+		return "route-compute"
+	case PhaseVCAlloc:
+		return "vc-alloc"
+	case PhaseSwitchAlloc:
+		return "switch-alloc"
+	case PhaseLinkTraversal:
+		return "link-traversal"
+	case PhaseInjectEject:
+		return "inject-eject"
+	default:
+		panic("network: invalid phase")
+	}
+}
+
+// PhaseProbe observes sampled cycles of the loop. BeginCycle is called
+// at the top of every Step; returning false keeps the cycle on the
+// uninstrumented fast path. Within an instrumented cycle, BeginPhase
+// marks each phase entry (the probe attributes the span since the
+// previous mark to the previous phase) and EndCycle closes the last
+// span. A phase may begin more than once per cycle (inject-eject does);
+// probes accumulate.
+type PhaseProbe interface {
+	BeginCycle(now int64) bool
+	BeginPhase(p Phase)
+	EndCycle()
 }
 
 // New builds the mesh: one router and endpoint per node, one channel per
@@ -143,6 +197,10 @@ func (n *Network) Offer(p *flit.Packet) {
 // all routing+VC allocation, then all switch traversal and endpoint
 // activity, then all links tick.
 func (n *Network) Step() {
+	if n.Probe != nil && n.Probe.BeginCycle(n.now) {
+		n.stepProbed()
+		return
+	}
 	for _, e := range n.endpoints {
 		e.Receive()
 	}
@@ -162,6 +220,41 @@ func (n *Network) Step() {
 	for _, ch := range n.channels {
 		ch.Tick()
 	}
+	n.now++
+}
+
+// stepProbed is Step with phase marks for an instrumented cycle. The
+// fabric work and its ordering are identical to the fast path — the
+// probe only reads clocks and allocation counters between phases, so
+// sampling can never change simulated results.
+func (n *Network) stepProbed() {
+	p := n.Probe
+	p.BeginPhase(PhaseInjectEject)
+	for _, e := range n.endpoints {
+		e.Receive()
+	}
+	p.BeginPhase(PhaseRouteCompute)
+	for _, r := range n.routers {
+		r.Receive()
+	}
+	p.BeginPhase(PhaseVCAlloc)
+	for _, r := range n.routers {
+		r.AllocateVCs()
+	}
+	p.BeginPhase(PhaseSwitchAlloc)
+	for _, r := range n.routers {
+		r.SwitchAndTraverse()
+	}
+	p.BeginPhase(PhaseInjectEject)
+	for _, e := range n.endpoints {
+		e.Consume(n.now)
+		e.Inject(n.now)
+	}
+	p.BeginPhase(PhaseLinkTraversal)
+	for _, ch := range n.channels {
+		ch.Tick()
+	}
+	p.EndCycle()
 	n.now++
 }
 

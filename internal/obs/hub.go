@@ -64,13 +64,17 @@ type RunStatus struct {
 	AcceptedRate float64 `json:"accepted_rate"`
 	// LatencyP50/LatencyP99 are live quantiles of measured background
 	// packet latency (0 until packets complete in the window).
-	LatencyP50   float64   `json:"latency_p50"`
-	LatencyP99   float64   `json:"latency_p99"`
-	CyclesPerSec float64   `json:"cycles_per_sec"`
-	Stalled      bool      `json:"stalled,omitempty"`
-	Done         bool      `json:"done"`
-	Started      time.Time `json:"started"`
-	Updated      time.Time `json:"updated"`
+	LatencyP50   float64 `json:"latency_p50"`
+	LatencyP99   float64 `json:"latency_p99"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Phases is the run's live phase profile (nil unless the cycle-loop
+	// profiler is enabled): per-phase sampled time and allocation
+	// deltas, in pipeline order.
+	Phases  []PhaseStats `json:"phases,omitempty"`
+	Stalled bool         `json:"stalled,omitempty"`
+	Done    bool         `json:"done"`
+	Started time.Time    `json:"started"`
+	Updated time.Time    `json:"updated"`
 }
 
 // FabricGauges is the latest per-router counter sample published by a
@@ -121,6 +125,9 @@ type RunUpdate struct {
 	LatencyP50   float64
 	LatencyP99   float64
 	CyclesPerSec float64
+	// Phases carries the profiler's live per-phase aggregates (nil when
+	// profiling is off).
+	Phases []PhaseStats
 }
 
 // Update publishes a heartbeat.
@@ -145,6 +152,9 @@ func (rh *RunHandle) Update(u RunUpdate) {
 	r.LatencyP50 = u.LatencyP50
 	r.LatencyP99 = u.LatencyP99
 	r.CyclesPerSec = u.CyclesPerSec
+	if u.Phases != nil {
+		r.Phases = u.Phases
+	}
 	if r.Total > 0 {
 		r.Percent = 100 * float64(r.Cycle) / float64(r.Total)
 		if r.Percent > 100 {

@@ -11,6 +11,7 @@ package obs
 import (
 	"nocsim/internal/flit"
 	"nocsim/internal/network"
+	"nocsim/internal/prof"
 	"nocsim/internal/router"
 	"nocsim/internal/topo"
 )
@@ -30,9 +31,19 @@ type Options struct {
 	// Heatmap enables per-link/per-node accounting over the measurement
 	// window.
 	Heatmap bool
+	// Profile enables the sampled cycle-loop phase profiler (see
+	// PhaseProfiler); the run's Result then carries a PerfProfile.
+	// ProfileEvery is the sampling period in cycles (DefaultProfileEvery
+	// when 0). ProfileClock overrides the profiler's clock — tests
+	// inject deterministic fakes; nil means prof.Now.
+	Profile      bool
+	ProfileEvery int64
+	ProfileClock prof.Clock
 }
 
-// Enabled reports whether any collector is selected.
+// Enabled reports whether any collector is selected. The phase profiler
+// is deliberately excluded: it is a network probe, not a MetricsSink
+// collector, and is wired separately by the simulation.
 func (o Options) Enabled() bool { return o.Trace || o.SamplePeriod > 0 || o.Heatmap }
 
 // Collector owns the selected observability components and implements

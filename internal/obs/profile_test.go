@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nocsim/internal/network"
+	"nocsim/internal/prof"
+)
+
+// tickClock returns a fake prof.Clock advancing step per call, making
+// phase attribution exactly predictable.
+func tickClock(step time.Duration) prof.Clock {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestPhaseProfilerSampling(t *testing.T) {
+	p := NewPhaseProfiler(4, tickClock(time.Nanosecond))
+	for now := int64(0); now < 12; now++ {
+		if got, want := p.BeginCycle(now), now%4 == 0; got != want {
+			t.Fatalf("BeginCycle(%d) = %v, want %v", now, got, want)
+		}
+		if now%4 == 0 {
+			p.BeginPhase(network.PhaseRouteCompute)
+			p.EndCycle()
+		}
+	}
+	if pp := p.Profile(); pp.SampledCycles != 3 || pp.SampleEvery != 4 {
+		t.Fatalf("sampled %d cycles every %d, want 3 every 4", pp.SampledCycles, pp.SampleEvery)
+	}
+}
+
+func TestPhaseProfilerDefaults(t *testing.T) {
+	p := NewPhaseProfiler(0, nil)
+	if p.SampleEvery() != DefaultProfileEvery {
+		t.Fatalf("SampleEvery = %d, want %d", p.SampleEvery(), DefaultProfileEvery)
+	}
+}
+
+// TestPhaseProfilerAttribution drives one sampled cycle by hand with a
+// clock advancing 10ns per reading and checks each phase gets exactly
+// the span between its begin and the next mark.
+func TestPhaseProfilerAttribution(t *testing.T) {
+	p := NewPhaseProfiler(2, tickClock(10*time.Nanosecond))
+	if p.BeginCycle(1) {
+		t.Fatal("cycle 1 should not be sampled at every=2")
+	}
+	if !p.BeginCycle(2) {
+		t.Fatal("cycle 2 should be sampled at every=2")
+	}
+	p.BeginPhase(network.PhaseRouteCompute) // span opens at t+20
+	p.BeginPhase(network.PhaseVCAlloc)      // route-compute gets 10ns
+	p.BeginPhase(network.PhaseSwitchAlloc)  // vc-alloc gets 10ns
+	p.EndCycle()                            // switch-alloc gets 10ns
+
+	pp := p.Profile()
+	if pp.SampledCycles != 1 {
+		t.Fatalf("SampledCycles = %d, want 1", pp.SampledCycles)
+	}
+	if len(pp.Phases) != network.NumPhases {
+		t.Fatalf("got %d phases, want %d", len(pp.Phases), network.NumPhases)
+	}
+	want := map[string]int64{
+		"route-compute":  10,
+		"vc-alloc":       10,
+		"switch-alloc":   10,
+		"link-traversal": 0,
+		"inject-eject":   0,
+	}
+	var totalShare float64
+	for _, ph := range pp.Phases {
+		if ph.Nanos != want[ph.Phase] {
+			t.Errorf("%s: %dns, want %dns", ph.Phase, ph.Nanos, want[ph.Phase])
+		}
+		totalShare += ph.TimeShare
+	}
+	if totalShare < 0.999 || totalShare > 1.001 {
+		t.Errorf("time shares sum to %f, want 1", totalShare)
+	}
+	// Phases come back in pipeline order so displays never shuffle.
+	if pp.Phases[0].Phase != "route-compute" || pp.Phases[4].Phase != "inject-eject" {
+		t.Errorf("phases out of pipeline order: %v", pp.Phases)
+	}
+}
+
+// TestPhaseProfilerReentersPhase checks the inject-eject pattern: the
+// same phase begun twice in one cycle accumulates both spans.
+func TestPhaseProfilerReentersPhase(t *testing.T) {
+	p := NewPhaseProfiler(1, tickClock(10*time.Nanosecond))
+	p.BeginCycle(0)
+	p.BeginPhase(network.PhaseInjectEject)
+	p.BeginPhase(network.PhaseInjectEject)
+	p.EndCycle()
+	for _, ph := range p.Snapshot() {
+		if ph.Phase == "inject-eject" && ph.Nanos != 20 {
+			t.Fatalf("re-entered phase accumulated %dns, want 20ns", ph.Nanos)
+		}
+	}
+}
+
+func TestPerfProfileString(t *testing.T) {
+	pp := &PerfProfile{
+		SampleEvery:   64,
+		SampledCycles: 19,
+		Phases:        []PhaseStats{{Phase: "vc-alloc", TimeShare: 0.5}},
+	}
+	got := pp.String()
+	for _, want := range []string{"19 sampled", "every 64", "vc-alloc 50.0%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -189,6 +189,25 @@ func (h *Hub) writeMetrics(w io.Writer) error {
 	perRun("nocsim_sim_cycles_per_second", "Host simulation speed in fabric cycles per wall second.", "gauge",
 		func(r *RunStatus) float64 { return r.CyclesPerSec })
 
+	// Per-phase series from the cycle-loop profiler, for the runs that
+	// carry one. Labels: run + pipeline phase.
+	perPhase := func(name, help, typ string, get func(ph PhaseStats) float64) {
+		p.Family(name, help, typ)
+		for _, r := range runs {
+			for _, ph := range r.Phases {
+				p.Sample(name, []PromLabel{{"run", r.Label}, {"phase", ph.Phase}}, get(ph))
+			}
+		}
+	}
+	perPhase("nocsim_phase_sampled_nanos_total", "Wall nanoseconds attributed to the pipeline phase over sampled cycles.", "counter",
+		func(ph PhaseStats) float64 { return float64(ph.Nanos) })
+	perPhase("nocsim_phase_alloc_bytes_total", "Heap bytes allocated in the pipeline phase over sampled cycles.", "counter",
+		func(ph PhaseStats) float64 { return float64(ph.AllocBytes) })
+	perPhase("nocsim_phase_allocs_total", "Heap allocations in the pipeline phase over sampled cycles.", "counter",
+		func(ph PhaseStats) float64 { return float64(ph.Allocs) })
+	perPhase("nocsim_phase_time_share", "Fraction of sampled cycle time spent in the pipeline phase (0-1).", "gauge",
+		func(ph PhaseStats) float64 { return ph.TimeShare })
+
 	// Per-router gauges from the latest fabric sample.
 	if g := h.gauges; g != nil {
 		node := func(id int) string { return strconv.Itoa(id) }

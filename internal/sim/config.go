@@ -53,6 +53,12 @@ type Config struct {
 	// RunLabel names the run in the monitor's output; defaults to the
 	// algorithm name.
 	RunLabel string
+	// PprofLabels are extra (key, value) pairs attached to the run's
+	// stepping goroutine as runtime/pprof labels, on top of the implicit
+	// alg and run labels. Harnesses set the traffic pattern and
+	// injection rate here so CPU/heap profiles attribute samples per
+	// run. Display-only: never feeds results.
+	PprofLabels []string
 	// WatchdogCycles, when > 0, arms the stall watchdog: a window of
 	// that many cycles with packets in flight but zero forward progress
 	// captures a fabric snapshot (written to WatchdogOut) and summarizes

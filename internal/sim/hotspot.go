@@ -54,6 +54,7 @@ func HotspotRun(cfg Config, bgRate, rate float64) (HotspotPoint, error) {
 		fmt.Sprintf("%s hot=%.2f", base, rate),
 		fmt.Sprintf("hotspot/bg=%.6f/hot=%.6f", bgRate, rate))
 	cfg = id.Apply(cfg)
+	cfg.PprofLabels = []string{"traffic", "hotspot", "rate", fmt.Sprintf("%.3f", rate)}
 
 	flows := traffic.HotspotFlows()
 	sources := make([]int, 0, len(flows.Flows))

@@ -1,16 +1,19 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nocsim/internal/flit"
 	"nocsim/internal/network"
 	"nocsim/internal/obs"
+	"nocsim/internal/prof"
 	"nocsim/internal/router"
 	"nocsim/internal/routing"
 	"nocsim/internal/stats"
@@ -51,6 +54,10 @@ type Result struct {
 	// Runtime reports the simulator's own performance over the whole run
 	// (warmup + measurement + drain).
 	Runtime RuntimeStats
+	// PerfProfile is the sampled cycle-loop phase profile (nil unless
+	// Config.Obs.Profile is set). Like Runtime it describes the host,
+	// never the fabric: determinism goldens scrub it.
+	PerfProfile *obs.PerfProfile
 	// Stalled reports that the run's watchdog flagged at least one
 	// zero-progress window (see Config.WatchdogCycles).
 	Stalled bool
@@ -119,7 +126,8 @@ type Simulation struct {
 	gens []Injector
 	rng  *rand.Rand
 	met  *metrics
-	col  *obs.Collector // nil unless cfg.Obs selects collectors
+	col  *obs.Collector     // nil unless cfg.Obs selects collectors
+	prof *obs.PhaseProfiler // nil unless cfg.Obs.Profile
 
 	nextID    uint64
 	measuring bool
@@ -194,6 +202,10 @@ func New(cfg Config, gens ...Injector) (*Simulation, error) {
 		SlowEndpoints: cfg.SlowEndpoints,
 	})
 	s.net.Sink = s.onEject
+	if cfg.Obs.Profile {
+		s.prof = obs.NewPhaseProfiler(cfg.Obs.ProfileEvery, cfg.Obs.ProfileClock)
+		s.net.Probe = s.prof
+	}
 	if cfg.Monitor != nil || cfg.WatchdogCycles > 0 {
 		s.beatEvery = 128
 		if cfg.WatchdogCycles > 0 && cfg.WatchdogCycles/4 < s.beatEvery {
@@ -335,7 +347,7 @@ func (s *Simulation) heartbeat(now int64) {
 		s.runh = hub.StartRun(label, s.cfg.Algorithm, total)
 	}
 	if s.wallStart.IsZero() {
-		s.wallStart = time.Now() //noclint:allow determinism wall clock feeds cycles/s self-metrics only, never results
+		s.wallStart = prof.Now()
 		s.runStartCycle = now
 	}
 	u := obs.RunUpdate{
@@ -346,9 +358,11 @@ func (s *Simulation) heartbeat(now int64) {
 		EjectedFlits: s.totalEjected,
 		FlitHops:     work,
 	}
-	//noclint:allow determinism wall clock feeds cycles/s self-metrics only, never results
-	if wall := time.Since(s.wallStart).Seconds(); wall > 0 {
+	if wall := prof.Now().Sub(s.wallStart).Seconds(); wall > 0 {
 		u.CyclesPerSec = float64(now-s.runStartCycle) / wall
+	}
+	if s.prof != nil {
+		u.Phases = s.prof.Snapshot()
 	}
 	if s.measuring && now > s.measStart {
 		end := now
@@ -369,12 +383,28 @@ func (s *Simulation) heartbeat(now int64) {
 	}
 }
 
+// pprofLabels builds the run's runtime/pprof label set: the routing
+// algorithm, the run label, and any (key, value) pairs the harness
+// attached through Config.PprofLabels (traffic pattern, injection rate).
+// CPU and heap profiles then attribute every sample to its run.
+func (s *Simulation) pprofLabels() pprof.LabelSet {
+	label := s.cfg.RunLabel
+	if label == "" {
+		label = algName(s.cfg)
+	}
+	kv := []string{"alg", algName(s.cfg), "run", label}
+	if n := len(s.cfg.PprofLabels); n >= 2 {
+		kv = append(kv, s.cfg.PprofLabels[:n-n%2]...)
+	}
+	return pprof.Labels(kv...)
+}
+
 // Run executes warmup, measurement and drain, returning the aggregated
 // result.
 func (s *Simulation) Run() *Result {
 	var mem0 runtime.MemStats
 	runtime.ReadMemStats(&mem0)
-	wall0 := time.Now() //noclint:allow determinism wall time is reported as throughput metadata, not a simulated quantity
+	wall0 := prof.Now()
 	startCycle := s.net.Now()
 
 	if s.cfg.Monitor != nil {
@@ -387,38 +417,40 @@ func (s *Simulation) Run() *Result {
 		s.wallStart = wall0
 		s.runStartCycle = startCycle
 	}
-	s.phase = "warmup"
-	for i := int64(0); i < s.cfg.WarmupCycles; i++ {
-		s.step()
-	}
-	s.met.reset()
-	s.met.enabled = true
-	s.measuring = true
-	s.measStart = s.net.Now()
-	s.measEnd = s.measStart + s.cfg.MeasureCycles
-	if s.col != nil {
-		s.col.OpenWindow(s.net, s.cfg.Mesh(), s.measStart, s.measEnd)
-	}
-	s.phase = "measure"
-	for i := int64(0); i < s.cfg.MeasureCycles; i++ {
-		s.step()
-	}
-	s.met.enabled = false
-	if s.col != nil {
-		s.col.CloseWindow(s.net)
-	}
-	// Drain: keep the offered load flowing so the backpressure seen by
-	// measured packets persists, until every measured packet has ejected
-	// or the drain budget runs out.
-	s.phase = "drain"
-	for i := int64(0); i < s.cfg.DrainCycles && s.measuredEjected < s.measured; i++ {
-		s.step()
-	}
+	pprof.Do(context.Background(), s.pprofLabels(), func(context.Context) {
+		s.phase = "warmup"
+		for i := int64(0); i < s.cfg.WarmupCycles; i++ {
+			s.step()
+		}
+		s.met.reset()
+		s.met.enabled = true
+		s.measuring = true
+		s.measStart = s.net.Now()
+		s.measEnd = s.measStart + s.cfg.MeasureCycles
+		if s.col != nil {
+			s.col.OpenWindow(s.net, s.cfg.Mesh(), s.measStart, s.measEnd)
+		}
+		s.phase = "measure"
+		for i := int64(0); i < s.cfg.MeasureCycles; i++ {
+			s.step()
+		}
+		s.met.enabled = false
+		if s.col != nil {
+			s.col.CloseWindow(s.net)
+		}
+		// Drain: keep the offered load flowing so the backpressure seen
+		// by measured packets persists, until every measured packet has
+		// ejected or the drain budget runs out.
+		s.phase = "drain"
+		for i := int64(0); i < s.cfg.DrainCycles && s.measuredEjected < s.measured; i++ {
+			s.step()
+		}
+	})
 	s.measuring = false
 	s.phase = "done"
 	s.runh.Finish()
 
-	wall := time.Since(wall0).Seconds() //noclint:allow determinism wall time is reported as throughput metadata, not a simulated quantity
+	wall := prof.Now().Sub(wall0).Seconds()
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
 	ranCycles := s.net.Now() - startCycle
@@ -453,6 +485,19 @@ func (s *Simulation) Run() *Result {
 	}
 	if s.measured > 0 {
 		res.HoLDegree = s.met.holDegree() / float64(s.measured) * 1000
+	}
+	if s.prof != nil {
+		pp := s.prof.Profile()
+		pp.GC = obs.GCStats{
+			NumGC:           mem1.NumGC - mem0.NumGC,
+			PauseTotalNanos: mem1.PauseTotalNs - mem0.PauseTotalNs,
+			TotalAllocBytes: mem1.TotalAlloc - mem0.TotalAlloc,
+			Mallocs:         mem1.Mallocs - mem0.Mallocs,
+		}
+		if mem1.HeapSys > mem0.HeapSys {
+			pp.GC.HeapSysGrowthBytes = mem1.HeapSys - mem0.HeapSys
+		}
+		res.PerfProfile = pp
 	}
 	return res
 }

@@ -71,6 +71,7 @@ func runLoadID(cfg Config, id RunIdentity, pattern string, size traffic.SizeFn, 
 		return nil, err
 	}
 	cfg = id.Apply(cfg)
+	cfg.PprofLabels = []string{"traffic", pattern, "rate", fmt.Sprintf("%.3f", rate)}
 	gen := &traffic.Generator{Pattern: p, Rate: rate, Size: size}
 	s, err := New(cfg, gen)
 	if err != nil {

@@ -20,6 +20,8 @@
 package nocsim
 
 import (
+	"fmt"
+
 	"nocsim/internal/flit"
 	"nocsim/internal/routing"
 	"nocsim/internal/sim"
@@ -85,6 +87,9 @@ func RunSized(cfg Config, pattern string, rate float64, minFlits, maxFlits int) 
 	inj, err := NewPatternInjector(cfg, pattern, rate, minFlits, maxFlits)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.PprofLabels == nil {
+		cfg.PprofLabels = []string{"traffic", pattern, "rate", fmt.Sprintf("%.3f", rate)}
 	}
 	s, err := sim.New(cfg, inj)
 	if err != nil {

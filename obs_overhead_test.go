@@ -63,3 +63,44 @@ func TestObsOverheadBudget(t *testing.T) {
 		t.Errorf("hub+watchdog heartbeat costs %.2fx (budget 2.5x): did the beat gate break?", mratio)
 	}
 }
+
+// TestPhaseProfilerOverheadBudget bounds the phase profiler's cost. The
+// design target is <=5% at the default sampling period (the profiler
+// touches one cycle in 64), and quiet hosts measure well under that; the
+// asserted bound is 1.5x so shared-runner scheduling noise cannot flake
+// the suite while a real regression — per-cycle clock or allocation
+// reads escaping the sampling gate, or an accidental ReadMemStats on the
+// hot path — still lands far outside it. Runs alternate
+// disabled/enabled (best of 3 each) so both paths sample the same host
+// conditions.
+func TestPhaseProfilerOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	one := func(o obs.Options) float64 {
+		cfg := benchProfile().BaseConfig()
+		cfg.Obs = o
+		res, err := Run(cfg, "uniform", 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Runtime.CyclesPerSec
+	}
+	var disabled, profiled float64
+	for i := 0; i < 3; i++ {
+		if cps := one(obs.Options{}); cps > disabled {
+			disabled = cps
+		}
+		if cps := one(obs.Options{Profile: true}); cps > profiled {
+			profiled = cps
+		}
+	}
+	if disabled <= 0 || profiled <= 0 {
+		t.Fatalf("degenerate rates: disabled %.0f, profiled %.0f cycles/s", disabled, profiled)
+	}
+	ratio := disabled / profiled
+	t.Logf("cycles/s: disabled %.0f, profiled %.0f (%.2fx overhead, design target 1.05x)", disabled, profiled, ratio)
+	if ratio > 1.5 {
+		t.Errorf("phase profiler costs %.2fx (budget 1.5x): did sampling-gated reads escape onto the per-cycle path?", ratio)
+	}
+}
