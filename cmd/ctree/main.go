@@ -21,6 +21,7 @@ func main() {
 	tables := flag.Bool("tables", false, "print Table 1 and the cost analysis, skip the simulation")
 	jobs := cli.NewJobs()
 	lobs := cli.NewObs("ctree")
+	anat := cli.NewAnatomy("ctree")
 	flag.Parse()
 
 	fmt.Println(exp.Table1().Format())
@@ -37,6 +38,7 @@ func main() {
 		prof = exp.QuickProfile()
 	}
 	prof.Jobs = *jobs
+	anat.Apply(&prof.Obs)
 	lobs.ApplyProfile(&prof)
 	study, err := exp.Figure2(prof, nil)
 	if err != nil {

@@ -25,6 +25,7 @@ func main() {
 	jobs := cli.NewJobs()
 	lobs := cli.NewObs("hotspot")
 	export := cli.NewRunExport("hotspot")
+	anat := cli.NewAnatomy("hotspot")
 	flag.Parse()
 
 	if *flows {
@@ -50,6 +51,7 @@ func main() {
 	}
 	prof.Jobs = *jobs
 	prof.Obs = export.Options()
+	anat.Apply(&prof.Obs)
 	lobs.ApplyProfile(&prof)
 
 	study, err := exp.Figure9(prof, *bg, nil)
@@ -66,4 +68,12 @@ func main() {
 	}
 	export.Report()
 	fmt.Println(study.Format())
+	if anat.Enabled() {
+		for alg, pts := range study.Curves {
+			for _, pt := range pts {
+				anat.Report(os.Stdout, fmt.Sprintf("%s-hot%.2f", alg, pt.Rate), pt.Result)
+			}
+		}
+		anat.Summary()
+	}
 }

@@ -61,6 +61,7 @@ func main() {
 	samplePeriod := flag.Int64("sample-period", 0, "counter sampling period in cycles (0 = off; implied 100 by -counters-out)")
 	heatmapOut := flag.String("heatmap-out", "", "write the measurement-window link heatmap as CSV to this file")
 	lobs := cli.NewObs("nocsim")
+	anat := cli.NewAnatomy("nocsim")
 	flag.Parse()
 
 	if *printConfig {
@@ -79,6 +80,7 @@ func main() {
 		SamplePeriod:  *samplePeriod,
 		Heatmap:       *heatmapOut != "",
 	}
+	anat.Apply(&cfg.Obs)
 	lobs.ApplyConfig(&cfg)
 
 	p, err := traffic.ByName(*pattern, cfg.Mesh())
@@ -92,7 +94,7 @@ func main() {
 		size = traffic.UniformSize(*minFlits, *maxFlits)
 	}
 	if *rates != "" {
-		sweep(cfg, *pattern, size, *rates, *jobs)
+		sweep(cfg, *pattern, size, *rates, *jobs, anat)
 		return
 	}
 	s, err := sim.New(cfg, &traffic.Generator{Pattern: p, Rate: *rate, Size: size})
@@ -125,6 +127,11 @@ func main() {
 			fmt.Printf("%18s %9.2fms %7.1f%% %11.1fKB %10d\n",
 				ph.Phase, float64(ph.Nanos)/1e6, 100*ph.TimeShare, float64(ph.AllocBytes)/1024, ph.Allocs)
 		}
+	}
+	if anat.Enabled() {
+		fmt.Println()
+		anat.Report(os.Stdout, fmt.Sprintf("%s-%s-%.2f", *pattern, cfg.Algorithm, *rate), res)
+		anat.Summary()
 	}
 	if probe != nil {
 		snap := probe.Snapshot(cfg.Mesh())
@@ -164,7 +171,7 @@ func main() {
 // execution engine and prints one row per rate. Single-run outputs
 // (traces, counter CSVs) are skipped; use the experiment commands'
 // -counters-out for per-run exports.
-func sweep(cfg sim.Config, pattern string, size traffic.SizeFn, rateList string, jobs int) {
+func sweep(cfg sim.Config, pattern string, size traffic.SizeFn, rateList string, jobs int, anat *cli.Anatomy) {
 	var grid []float64
 	for _, s := range strings.Split(rateList, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -188,6 +195,13 @@ func sweep(cfg sim.Config, pattern string, size traffic.SizeFn, rateList string,
 				res.Latency[flit.ClassBackground] != nil && res.Latency[flit.ClassBackground].N() > 0),
 			naFloat(res.P99, "%.0f", !math.IsNaN(res.P99)),
 			res.Stable)
+	}
+	if anat.Enabled() {
+		for _, pt := range pts {
+			fmt.Println()
+			anat.Report(os.Stdout, fmt.Sprintf("%s-%s-%.2f", pattern, cfg.Algorithm, pt.Rate), pt.Result)
+		}
+		anat.Summary()
 	}
 }
 

@@ -22,6 +22,7 @@ func main() {
 	sizes := flag.String("sizes", "4x4,16x16", "comma-separated mesh sizes, e.g. 4x4,16x16")
 	jobs := cli.NewJobs()
 	lobs := cli.NewObs("scale")
+	anat := cli.NewAnatomy("scale")
 	flag.Parse()
 
 	lobs.Start()
@@ -32,6 +33,7 @@ func main() {
 		prof = exp.QuickProfile()
 	}
 	prof.Jobs = *jobs
+	anat.Apply(&prof.Obs)
 	lobs.ApplyProfile(&prof)
 
 	var meshes [][2]int

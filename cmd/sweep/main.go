@@ -3,10 +3,12 @@
 //	sweep -figure 5                 # Figure 5: 7 algorithms, single-flit
 //	sweep -figure 6                 # Figure 6: variable packet size
 //	sweep -figure 7                 # Figure 7: Footprint vs DBAR, VC sweep
+//	sweep -figure anatomy           # adaptiveness & latency-composition study
 //	sweep -figure 5 -pattern shuffle -profile quick
 //	sweep -jobs 8                   # 8 parallel runs, identical results
 //	sweep -obs-addr localhost:9090  # live per-run progress while it runs
 //	sweep -counters-out ts.csv      # one counter CSV per (pattern,alg,rate)
+//	sweep -figure anatomy -anatomy-out anatomy.csv  # per-run anatomy CSVs
 package main
 
 import (
@@ -19,12 +21,13 @@ import (
 )
 
 func main() {
-	figure := flag.Int("figure", 5, "figure to regenerate (5, 6 or 7)")
+	figure := flag.String("figure", "5", "figure to regenerate (5, 6 or 7), or \"anatomy\" for the exercised-adaptiveness / latency-composition study")
 	pattern := flag.String("pattern", "", "restrict to one pattern (default: all three)")
 	profile := flag.String("profile", "full", "effort level: full or quick")
 	jobs := cli.NewJobs()
 	lobs := cli.NewObs("sweep")
 	export := cli.NewRunExport("sweep")
+	anat := cli.NewAnatomy("sweep")
 	flag.Parse()
 
 	lobs.Start()
@@ -36,6 +39,7 @@ func main() {
 	}
 	prof.Jobs = *jobs
 	prof.Obs = export.Options()
+	anat.Apply(&prof.Obs)
 	lobs.ApplyProfile(&prof)
 
 	patterns := exp.SyntheticPatterns()
@@ -45,31 +49,46 @@ func main() {
 
 	for _, p := range patterns {
 		switch *figure {
-		case 5:
+		case "5":
 			cs, err := exp.Figure5(prof, p)
 			if err != nil {
 				fatal(err)
 			}
 			exportCurves(export, cs)
 			fmt.Println(cs.Format())
-		case 6:
+			reportAnatomy(anat, cs)
+		case "6":
 			cs, err := exp.Figure6(prof, p)
 			if err != nil {
 				fatal(err)
 			}
 			exportCurves(export, cs)
 			fmt.Println(cs.Format())
-		case 7:
+			reportAnatomy(anat, cs)
+		case "7":
 			vs, err := exp.Figure7(prof, p, nil)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Println(vs.Format())
+		case "anatomy":
+			st, err := exp.Anatomy(prof, p, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(st.Format())
+			for _, c := range st.Curves {
+				for _, pt := range c.Points {
+					id := fmt.Sprintf("%s-%s-%.2f", st.Pattern, c.Algorithm, pt.Rate)
+					anat.Report(os.Stdout, id, pt.Result)
+				}
+			}
 		default:
-			fatal(fmt.Errorf("unknown figure %d (want 5, 6 or 7)", *figure))
+			fatal(fmt.Errorf("unknown figure %q (want 5, 6, 7 or anatomy)", *figure))
 		}
 	}
 	export.Report()
+	anat.Summary()
 }
 
 // exportCurves writes each run's collector files, suffixed with
@@ -82,6 +101,20 @@ func exportCurves(export *cli.RunExport, cs exp.CurveSet) {
 		for _, pt := range c.Points {
 			id := fmt.Sprintf("%s-%s-%.2f", cs.Pattern, c.Algorithm, pt.Rate)
 			export.Write(id, pt.Result.Obs)
+		}
+	}
+}
+
+// reportAnatomy prints/exports each run's latency anatomy when the
+// -anatomy flag set enabled collection on the sweep's profile.
+func reportAnatomy(anat *cli.Anatomy, cs exp.CurveSet) {
+	if !anat.Enabled() {
+		return
+	}
+	for _, c := range cs.Curves {
+		for _, pt := range c.Points {
+			id := fmt.Sprintf("%s-%s-%.2f", cs.Pattern, c.Algorithm, pt.Rate)
+			anat.Report(os.Stdout, id, pt.Result)
 		}
 	}
 }

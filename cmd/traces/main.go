@@ -29,6 +29,7 @@ func main() {
 	out := flag.String("o", "", "output file (with -gen)")
 	jobs := cli.NewJobs()
 	lobs := cli.NewObs("traces")
+	anat := cli.NewAnatomy("traces")
 	flag.Parse()
 
 	if *gen != "" {
@@ -46,6 +47,7 @@ func main() {
 		prof = exp.QuickProfile()
 	}
 	prof.Jobs = *jobs
+	anat.Apply(&prof.Obs)
 	lobs.ApplyProfile(&prof)
 
 	var pairList [][2]string

@@ -1,8 +1,9 @@
 // Package cli carries the flag wiring shared by every command: the live
 // observability server (-obs-addr), the stall watchdog
-// (-watchdog-cycles, -watchdog-out), the pprof endpoint (-pprof), and
-// the per-run collector exports (-counters-out, -heatmap-out,
-// -sample-period) of the experiment harnesses.
+// (-watchdog-cycles, -watchdog-out), the pprof endpoint (-pprof), the
+// per-run collector exports (-counters-out, -heatmap-out,
+// -sample-period) of the experiment harnesses, and the latency-anatomy
+// set (-anatomy, -anatomy-out, -anatomy-period).
 package cli
 
 import (
@@ -207,6 +208,100 @@ func (e *RunExport) writeFile(path string, write func(w io.Writer) error) {
 	e.mu.Lock()
 	e.written++
 	e.mu.Unlock()
+}
+
+// Anatomy is the shared latency-anatomy flag set: -anatomy collects and
+// prints the per-run latency composition and exercised-adaptiveness
+// table, -anatomy-out additionally writes per-run CSVs (the aggregate
+// plus a -occupancy time-series file), -anatomy-period tunes the
+// footprint-occupancy sampling. Construct with NewAnatomy before
+// flag.Parse.
+type Anatomy struct {
+	Print  bool
+	Out    string
+	Period int64
+
+	tool string
+
+	mu      sync.Mutex // Report may run from parallel sweep exporters
+	written int
+}
+
+// NewAnatomy registers -anatomy, -anatomy-out and -anatomy-period.
+func NewAnatomy(tool string) *Anatomy {
+	a := &Anatomy{tool: tool}
+	flag.BoolVar(&a.Print, "anatomy", false,
+		"collect the latency anatomy (per-hop latency composition, VC-class grant split, exercised adaptiveness) and print it per run")
+	flag.StringVar(&a.Out, "anatomy-out", "",
+		"write the latency anatomy as CSV, one aggregate file plus one -occupancy time-series file per run, suffixed with the run identity")
+	flag.Int64Var(&a.Period, "anatomy-period", 0,
+		"footprint-occupancy sampling period in cycles (0 = default 256)")
+	return a
+}
+
+// Enabled reports whether anatomy collection was requested.
+func (a *Anatomy) Enabled() bool { return a.Print || a.Out != "" }
+
+// Apply enables the anatomy collector on o when requested.
+func (a *Anatomy) Apply(o *obs.Options) {
+	if !a.Enabled() {
+		return
+	}
+	o.Anatomy = true
+	o.AnatomyPeriod = a.Period
+}
+
+// Report prints the run's anatomy table to w (under -anatomy) and writes
+// its CSVs (under -anatomy-out). runID is the run identity used to
+// suffix output files; res may be nil or anatomy-free, in which case
+// Report is a no-op.
+func (a *Anatomy) Report(w io.Writer, runID string, res *sim.Result) {
+	if res == nil || res.Anatomy == nil {
+		return
+	}
+	if a.Print {
+		if runID != "" {
+			fmt.Fprintf(w, "[%s] ", runID)
+		}
+		res.Anatomy.Format(w)
+	}
+	if a.Out == "" {
+		return
+	}
+	a.writeFile(suffixPath(a.Out, runID), res.Anatomy.WriteCSV)
+	if res.Obs != nil && res.Obs.Anatomy != nil {
+		a.writeFile(suffixPath(a.Out, runID+"-occupancy"), res.Obs.Anatomy.WriteSeriesCSV)
+	}
+}
+
+// Summary prints how many CSV files Report wrote.
+func (a *Anatomy) Summary() {
+	a.mu.Lock()
+	written := a.written
+	a.mu.Unlock()
+	if written > 0 {
+		fmt.Fprintf(os.Stderr, "%s: wrote %d anatomy CSV files\n", a.tool, written)
+	}
+}
+
+func (a *Anatomy) writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", a.tool, err)
+		return
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "%s: write %s: %v\n", a.tool, path, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: close %s: %v\n", a.tool, path, err)
+		return
+	}
+	a.mu.Lock()
+	a.written++
+	a.mu.Unlock()
 }
 
 // suffixPath inserts _id before the extension: base.csv -> base_id.csv.

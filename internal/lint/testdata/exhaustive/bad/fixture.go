@@ -24,3 +24,33 @@ func Name(p Port) string {
 	}
 	return s
 }
+
+// VCClass mirrors the router's grant-classification enum: a closed set
+// with a num-prefixed sentinel, which the rule must exempt from coverage
+// while still demanding the real members.
+type VCClass uint8
+
+const (
+	VCClassIdle VCClass = iota
+	VCClassFootprint
+	VCClassBusy
+	VCClassEscape
+	numVCClasses
+)
+
+var _ = numVCClasses
+
+// ClassName misses VCClassEscape behind a silent default: exporters would
+// quietly mislabel escape grants.
+func ClassName(c VCClass) string {
+	switch c {
+	case VCClassIdle:
+		return "idle"
+	case VCClassFootprint:
+		return "footprint"
+	case VCClassBusy:
+		return "busy"
+	default:
+		return "?"
+	}
+}

@@ -33,3 +33,34 @@ func Axis(p Port) string {
 		panic("fixture: port has no axis")
 	}
 }
+
+// VCClass mirrors the router's grant-classification enum: the
+// num-prefixed sentinel needs no case, the real members do.
+type VCClass uint8
+
+const (
+	VCClassIdle VCClass = iota
+	VCClassFootprint
+	VCClassBusy
+	VCClassEscape
+	numVCClasses
+)
+
+var _ = numVCClasses
+
+// ClassName covers every real member and panics on anything else — the
+// sentinel included, so a widened enum fails loudly.
+func ClassName(c VCClass) string {
+	switch c {
+	case VCClassIdle:
+		return "idle"
+	case VCClassFootprint:
+		return "footprint"
+	case VCClassBusy:
+		return "busy"
+	case VCClassEscape:
+		return "escape"
+	default:
+		panic("fixture: unknown VC class")
+	}
+}

@@ -70,11 +70,22 @@ type RunStatus struct {
 	// Phases is the run's live phase profile (nil unless the cycle-loop
 	// profiler is enabled): per-phase sampled time and allocation
 	// deltas, in pipeline order.
-	Phases  []PhaseStats `json:"phases,omitempty"`
-	Stalled bool         `json:"stalled,omitempty"`
-	Done    bool         `json:"done"`
-	Started time.Time    `json:"started"`
-	Updated time.Time    `json:"updated"`
+	Phases []PhaseStats `json:"phases,omitempty"`
+	// TraceEvents/TraceDropped report the lifecycle tracer's totals:
+	// events observed and events lost to ring overwrite (both 0 when
+	// tracing is off). A nonzero TraceDropped means trace-derived
+	// analyses only see a suffix of the run.
+	TraceEvents  uint64 `json:"trace_events,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+	// Anatomy is the run's live latency anatomy and exercised
+	// adaptiveness (nil unless the anatomy collector is enabled);
+	// Occupancy is the latest footprint-occupancy sample.
+	Anatomy   *Anatomy       `json:"anatomy,omitempty"`
+	Occupancy *AnatomySample `json:"occupancy,omitempty"`
+	Stalled   bool           `json:"stalled,omitempty"`
+	Done      bool           `json:"done"`
+	Started   time.Time      `json:"started"`
+	Updated   time.Time      `json:"updated"`
 }
 
 // FabricGauges is the latest per-router counter sample published by a
@@ -128,6 +139,13 @@ type RunUpdate struct {
 	// Phases carries the profiler's live per-phase aggregates (nil when
 	// profiling is off).
 	Phases []PhaseStats
+	// TraceEvents/TraceDropped carry the tracer's totals (0 when off).
+	TraceEvents  uint64
+	TraceDropped uint64
+	// Anatomy carries the anatomy collector's live aggregate (nil when
+	// off); Occupancy the latest footprint-occupancy sample.
+	Anatomy   *Anatomy
+	Occupancy *AnatomySample
 }
 
 // Update publishes a heartbeat.
@@ -154,6 +172,14 @@ func (rh *RunHandle) Update(u RunUpdate) {
 	r.CyclesPerSec = u.CyclesPerSec
 	if u.Phases != nil {
 		r.Phases = u.Phases
+	}
+	r.TraceEvents = u.TraceEvents
+	r.TraceDropped = u.TraceDropped
+	if u.Anatomy != nil {
+		r.Anatomy = u.Anatomy
+	}
+	if u.Occupancy != nil {
+		r.Occupancy = u.Occupancy
 	}
 	if r.Total > 0 {
 		r.Percent = 100 * float64(r.Cycle) / float64(r.Total)

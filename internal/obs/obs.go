@@ -39,12 +39,23 @@ type Options struct {
 	Profile      bool
 	ProfileEvery int64
 	ProfileClock prof.Clock
+	// Anatomy enables the latency-anatomy collector: per-packet latency
+	// decomposition, exercised-adaptiveness decision records and the
+	// footprint-occupancy time series; the run's Result then carries an
+	// Anatomy aggregate. AnatomyPeriod is the occupancy sampling period
+	// in cycles (DefaultAnatomyPeriod when 0); AnatomySamples bounds the
+	// retained series points (DefaultAnatomySamples when 0).
+	Anatomy        bool
+	AnatomyPeriod  int64
+	AnatomySamples int
 }
 
 // Enabled reports whether any collector is selected. The phase profiler
 // is deliberately excluded: it is a network probe, not a MetricsSink
 // collector, and is wired separately by the simulation.
-func (o Options) Enabled() bool { return o.Trace || o.SamplePeriod > 0 || o.Heatmap }
+func (o Options) Enabled() bool {
+	return o.Trace || o.SamplePeriod > 0 || o.Heatmap || o.Anatomy
+}
 
 // Collector owns the selected observability components and implements
 // router.MetricsSink by dispatching to them. The simulation drives
@@ -57,6 +68,8 @@ type Collector struct {
 	Sampler *Sampler
 	// Heatmap is non-nil when link heatmaps are enabled.
 	Heatmap *Heatmap
+	// Anatomy is non-nil when the latency-anatomy collector is enabled.
+	Anatomy *AnatomyCollector
 }
 
 // NewCollector builds the collectors o selects; it returns nil when o is
@@ -76,21 +89,31 @@ func NewCollector(o Options) *Collector {
 	if o.Heatmap {
 		c.Heatmap = NewHeatmap()
 	}
+	if o.Anatomy {
+		c.Anatomy = NewAnatomyCollector(o.AnatomyPeriod, o.AnatomySamples)
+	}
 	return c
 }
 
 // Tick is called once per simulated cycle before the fabric steps; it
-// drives periodic counter sampling.
+// drives periodic counter and occupancy sampling.
 func (c *Collector) Tick(now int64, net *network.Network) {
 	if c.Sampler != nil && now%c.Sampler.period == 0 {
 		c.Sampler.Sample(now, net)
 	}
+	if c.Anatomy != nil && now%c.Anatomy.period == 0 {
+		c.Anatomy.sample(now, net)
+	}
 }
 
-// OpenWindow arms the heatmap for the measurement window [start, end).
+// OpenWindow arms the heatmap and the anatomy collector for the
+// measurement window [start, end).
 func (c *Collector) OpenWindow(net *network.Network, mesh topo.Mesh, start, end int64) {
 	if c.Heatmap != nil {
 		c.Heatmap.OpenWindow(net, mesh, start, end)
+	}
+	if c.Anatomy != nil {
+		c.Anatomy.OpenWindow(start, end)
 	}
 }
 
@@ -105,14 +128,20 @@ func (c *Collector) CloseWindow(net *network.Network) {
 // --- router.MetricsSink ----------------------------------------------------
 
 // WantPacketEvents implements router.MetricsSink: the per-packet
-// lifecycle callbacks are consumed when tracing or heatmapping.
-func (c *Collector) WantPacketEvents() bool { return c.Tracer != nil || c.Heatmap != nil }
+// lifecycle callbacks are consumed when tracing, heatmapping or
+// collecting the latency anatomy.
+func (c *Collector) WantPacketEvents() bool {
+	return c.Tracer != nil || c.Heatmap != nil || c.Anatomy != nil
+}
 
 // OnInject implements router.MetricsSink.
 func (c *Collector) OnInject(now int64, p *flit.Packet) {
 	if c.Tracer != nil {
 		c.Tracer.add(Event{Cycle: now, Kind: EventInject, Node: p.Src,
 			Packet: p.ID, Src: p.Src, Dest: p.Dest})
+	}
+	if c.Anatomy != nil {
+		c.Anatomy.onInject(now, p)
 	}
 }
 
@@ -121,6 +150,9 @@ func (c *Collector) OnRoute(now int64, node int, p *flit.Packet, in topo.Directi
 	if c.Tracer != nil {
 		c.Tracer.add(Event{Cycle: now, Kind: EventRoute, Node: node,
 			Packet: p.ID, Src: p.Src, Dest: p.Dest, Dir: in})
+	}
+	if c.Anatomy != nil {
+		c.Anatomy.onRoute(now, p)
 	}
 }
 
@@ -135,10 +167,13 @@ func (c *Collector) OnVCAllocFailure(now int64, node int, p *flit.Packet, out to
 }
 
 // OnVCAllocGrant implements router.MetricsSink.
-func (c *Collector) OnVCAllocGrant(now int64, node int, p *flit.Packet, out topo.Direction, outVC int, waited int64) {
+func (c *Collector) OnVCAllocGrant(now int64, node int, p *flit.Packet, out topo.Direction, outVC int, class router.VCClass, waited int64) {
 	if c.Tracer != nil {
 		c.Tracer.add(Event{Cycle: now, Kind: EventGrant, Node: node,
-			Packet: p.ID, Src: p.Src, Dest: p.Dest, Dir: out, VC: outVC, Waited: waited})
+			Packet: p.ID, Src: p.Src, Dest: p.Dest, Dir: out, VC: outVC, Class: class, Waited: waited})
+	}
+	if c.Anatomy != nil {
+		c.Anatomy.onGrant(now, p, class, waited)
 	}
 }
 
@@ -147,6 +182,9 @@ func (c *Collector) OnHeadTraverse(now int64, node int, p *flit.Packet, out topo
 	if c.Tracer != nil {
 		c.Tracer.add(Event{Cycle: now, Kind: EventHop, Node: node,
 			Packet: p.ID, Src: p.Src, Dest: p.Dest, Dir: out, VC: outVC})
+	}
+	if c.Anatomy != nil {
+		c.Anatomy.onHeadTraverse(now, p)
 	}
 }
 
@@ -158,6 +196,20 @@ func (c *Collector) OnEject(now int64, p *flit.Packet) {
 	}
 	if c.Heatmap != nil {
 		c.Heatmap.onEject(now, p)
+	}
+	if c.Anatomy != nil {
+		c.Anatomy.onEject(now, p)
+	}
+}
+
+// WantRouteDecisions implements router.MetricsSink: decision records are
+// consumed only by the anatomy collector.
+func (c *Collector) WantRouteDecisions() bool { return c.Anatomy != nil }
+
+// OnRouteDecision implements router.MetricsSink.
+func (c *Collector) OnRouteDecision(now int64, node int, p *flit.Packet, d router.Decision) {
+	if c.Anatomy != nil {
+		c.Anatomy.onDecision(p, d)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"nocsim/internal/router"
 )
 
 // The Prometheus text exposition format (version 0.0.4) is hand-rolled
@@ -188,6 +190,65 @@ func (h *Hub) writeMetrics(w io.Writer) error {
 		func(r *RunStatus) float64 { return r.AcceptedRate })
 	perRun("nocsim_sim_cycles_per_second", "Host simulation speed in fabric cycles per wall second.", "gauge",
 		func(r *RunStatus) float64 { return r.CyclesPerSec })
+	perRun("nocsim_trace_events_total", "Packet lifecycle events observed by the tracer (0 when tracing is off).", "counter",
+		func(r *RunStatus) float64 { return float64(r.TraceEvents) })
+	perRun("nocsim_trace_dropped_events_total", "Lifecycle events lost to trace-ring overwrite; nonzero means the trace only covers a suffix of the run.", "counter",
+		func(r *RunStatus) float64 { return float64(r.TraceDropped) })
+
+	// Latency-anatomy families, for the runs whose anatomy collector is
+	// enabled. Labels: run (+ component or vc_class).
+	perAnatomy := func(name, help, typ string, get func(a *Anatomy) float64) {
+		p.Family(name, help, typ)
+		for _, r := range runs {
+			if r.Anatomy != nil {
+				p.Sample(name, []PromLabel{{"run", r.Label}}, get(r.Anatomy))
+			}
+		}
+	}
+	perAnatomy("nocsim_anatomy_packets_total", "Measured packets fully decomposed by the latency-anatomy collector.", "counter",
+		func(a *Anatomy) float64 { return float64(a.Packets) })
+	perAnatomy("nocsim_anatomy_decisions_total", "Routing decisions recorded for measured packets (ejection excluded).", "counter",
+		func(a *Anatomy) float64 { return float64(a.Decisions) })
+	perAnatomy("nocsim_anatomy_port_adaptiveness_exercised", "Offered ports over the minimal-path ceiling, aggregated over decisions (0-1).", "gauge",
+		func(a *Anatomy) float64 { return a.PortAdaptivenessExercised() })
+	perAnatomy("nocsim_anatomy_vc_adaptiveness_exercised", "Offered VCs over the admissible ceiling, aggregated over decisions (0-1).", "gauge",
+		func(a *Anatomy) float64 { return a.VCAdaptivenessExercised() })
+	p.Family("nocsim_anatomy_latency_cycles_total", "End-to-end latency cycles of measured packets by component; components partition the total exactly.", "counter")
+	for _, r := range runs {
+		if r.Anatomy == nil {
+			continue
+		}
+		for _, c := range r.Anatomy.Components() {
+			p.Sample("nocsim_anatomy_latency_cycles_total",
+				[]PromLabel{{"run", r.Label}, {"component", c.Name}}, float64(c.Cycles))
+		}
+	}
+	p.Family("nocsim_anatomy_grants_total", "VC-allocation grants by the granted VC's class at grant time.", "counter")
+	for _, r := range runs {
+		if r.Anatomy == nil {
+			continue
+		}
+		for class, n := range r.Anatomy.Grants {
+			p.Sample("nocsim_anatomy_grants_total",
+				[]PromLabel{{"run", r.Label}, {"vc_class", router.VCClass(class).String()}}, float64(n))
+		}
+	}
+	perOcc := func(name, help string, get func(s *AnatomySample) float64) {
+		p.Family(name, help, "gauge")
+		for _, r := range runs {
+			if r.Occupancy != nil {
+				p.Sample(name, []PromLabel{{"run", r.Label}}, get(r.Occupancy))
+			}
+		}
+	}
+	perOcc("nocsim_anatomy_owned_vcs", "Network-port output VCs whose buffers hold packets to some destination (latest occupancy sample).",
+		func(s *AnatomySample) float64 { return float64(s.OwnedVCs) })
+	perOcc("nocsim_anatomy_idle_vcs", "Fully drained, unallocated network-port output VCs (latest occupancy sample).",
+		func(s *AnatomySample) float64 { return float64(s.IdleVCs) })
+	perOcc("nocsim_anatomy_congestion_trees", "Distinct destinations owning at least one VC — live congestion-tree count (latest occupancy sample).",
+		func(s *AnatomySample) float64 { return float64(s.Trees) })
+	perOcc("nocsim_anatomy_largest_tree_vcs", "VCs owned by the largest congestion tree (latest occupancy sample).",
+		func(s *AnatomySample) float64 { return float64(s.LargestTree) })
 
 	// Per-phase series from the cycle-loop profiler, for the runs that
 	// carry one. Labels: run + pipeline phase.

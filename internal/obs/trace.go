@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"nocsim/internal/router"
 	"nocsim/internal/topo"
 )
 
@@ -57,14 +58,16 @@ func (k EventKind) String() string {
 // FootprintVCs and BusyVCs are meaningful only for the kinds that set
 // them (see the kind docs).
 type Event struct {
-	Cycle        int64          `json:"cycle"`
-	Kind         EventKind      `json:"-"`
-	Node         int            `json:"node"`
-	Packet       uint64         `json:"packet"`
-	Src          int            `json:"src"`
-	Dest         int            `json:"dest"`
-	Dir          topo.Direction `json:"-"`
-	VC           int            `json:"vc"`
+	Cycle  int64          `json:"cycle"`
+	Kind   EventKind      `json:"-"`
+	Node   int            `json:"node"`
+	Packet uint64         `json:"packet"`
+	Src    int            `json:"src"`
+	Dest   int            `json:"dest"`
+	Dir    topo.Direction `json:"-"`
+	VC     int            `json:"vc"`
+	// Class is the granted VC's class at grant time (EventGrant only).
+	Class        router.VCClass `json:"-"`
 	Waited       int64          `json:"waited,omitempty"`
 	FootprintVCs int            `json:"footprint_vcs,omitempty"`
 	BusyVCs      int            `json:"busy_vcs,omitempty"`
@@ -75,7 +78,8 @@ type Event struct {
 type jsonEvent struct {
 	Kind string `json:"kind"`
 	Event
-	Dir string `json:"dir"`
+	Dir     string `json:"dir"`
+	VCClass string `json:"vc_class,omitempty"`
 }
 
 // Tracer records packet lifecycle events into a bounded ring buffer.
@@ -139,6 +143,9 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, e := range t.Events() {
 		je := jsonEvent{Kind: e.Kind.String(), Event: e, Dir: e.Dir.String()}
+		if e.Kind == EventGrant {
+			je.VCClass = e.Class.String()
+		}
 		if err := enc.Encode(je); err != nil {
 			return err
 		}
@@ -200,6 +207,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			ce.TS, ce.Dur = e.Cycle-e.Waited, dur
 			args["out"] = e.Dir.String()
 			args["vc"] = e.VC
+			args["vc_class"] = e.Class.String()
 			args["waited"] = e.Waited
 		case EventHop:
 			ce.Name, ce.Phase, ce.Dur = "hop "+e.Dir.String(), "X", 1

@@ -1,0 +1,161 @@
+package router
+
+import (
+	"fmt"
+
+	"nocsim/internal/flit"
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+// VCClass classifies the live state of an output virtual channel at the
+// moment it is offered to or granted for a packet, with respect to that
+// packet's destination. The classes mirror the paper's Section 3
+// taxonomy: an idle VC starts a fresh flow, a footprint VC already
+// carries packets to the same destination (joining it extends the
+// congestion tree harmlessly), a busy VC carries packets to a different
+// destination (joining it couples unrelated flows — the HoL-blocking
+// case Footprint regulates away), and the escape VC is the Duato
+// deadlock-free fallback.
+type VCClass uint8
+
+const (
+	// VCClassIdle is an unoccupied VC: unallocated with a fully drained
+	// downstream buffer.
+	VCClassIdle VCClass = iota
+	// VCClassFootprint is a VC whose downstream buffer currently holds
+	// packets to the same destination as the requester.
+	VCClassFootprint
+	// VCClassBusy is an occupied VC owned by a different destination.
+	VCClassBusy
+	// VCClassEscape is the Duato escape VC (VC 0 of a network port under
+	// an escape-using algorithm), regardless of occupancy.
+	VCClassEscape
+
+	// numVCClasses is the cardinality sentinel (not an enum member; the
+	// num* prefix exempts it from noclint's exhaustive rule).
+	numVCClasses
+)
+
+// NumVCClasses is the number of VC classes, int-typed for sizing arrays
+// indexed by VCClass.
+const NumVCClasses = int(numVCClasses)
+
+// String implements fmt.Stringer.
+func (c VCClass) String() string {
+	switch c {
+	case VCClassIdle:
+		return "idle"
+	case VCClassFootprint:
+		return "footprint"
+	case VCClassBusy:
+		return "busy"
+	case VCClassEscape:
+		return "escape"
+	default:
+		panic(fmt.Sprintf("router: unknown VCClass %d", uint8(c)))
+	}
+}
+
+// Decision summarizes one routing decision — the first route computation
+// for a packet at a router — as the adaptiveness it actually exercised:
+// how many ports and VCs the algorithm offered versus the minimal-path
+// ceiling it could have offered. The router (not the routing algorithm;
+// the routepurity lint keeps Route side-effect free) derives it from the
+// request set Route returned and reports it through
+// MetricsSink.OnRouteDecision. Ejection decisions (dest == this node)
+// are not reported: they exercise no routing freedom.
+type Decision struct {
+	// In is the input port the packet arrived on.
+	In topo.Direction
+	// MinimalPorts is the number of productive output ports on minimal
+	// paths toward the destination (1 when aligned in a dimension, else
+	// 2) — the Eq-1 per-hop port ceiling for a fully adaptive algorithm.
+	MinimalPorts int
+	// OfferedPorts is the number of distinct output ports carrying
+	// adaptive (non-escape) requests. OfferedPorts/MinimalPorts is the
+	// per-decision exercised port adaptiveness.
+	OfferedPorts int
+	// PortMask has bit 1<<Direction set for every port requested,
+	// escape included.
+	PortMask uint8
+	// AdmissibleVCs is the static per-hop VC ceiling: adaptive VCs per
+	// port times MinimalPorts.
+	AdmissibleVCs int
+	// OfferedVCs is the number of adaptive (non-escape) VC requests the
+	// algorithm actually emitted. OfferedVCs/AdmissibleVCs is the
+	// per-decision exercised VC adaptiveness.
+	OfferedVCs int
+	// FootprintVCs and IdleVCs classify the offered adaptive VCs by live
+	// state at decision time; the remainder (OfferedVCs - FootprintVCs -
+	// IdleVCs) were busy.
+	FootprintVCs int
+	IdleVCs      int
+	// EscapeRequested reports whether the request set included the
+	// escape VC (the Duato fallback was on the table this decision).
+	EscapeRequested bool
+	// MinimalProgress reports whether every offered port lies on a
+	// minimal path (no misrouting offered).
+	MinimalProgress bool
+}
+
+// emitDecision builds and reports the Decision record for a packet's
+// first route computation at this router. Called only when
+// r.wantDecisions and dest != NodeID.
+func (r *Router) emitDecision(in topo.Direction, dest int, reqs []routing.Request, p *flit.Packet) {
+	dx, hasX, dy, hasY := r.cfg.Mesh.MinimalDirs(r.cfg.NodeID, dest)
+	d := Decision{In: in, MinimalProgress: true}
+	if hasX {
+		d.MinimalPorts++
+	}
+	if hasY {
+		d.MinimalPorts++
+	}
+	escape := r.cfg.Alg.UsesEscape()
+	adaptivePerPort := r.cfg.VCs
+	if escape {
+		adaptivePerPort--
+	}
+	d.AdmissibleVCs = d.MinimalPorts * adaptivePerPort
+	var adaptiveMask uint8
+	for _, rq := range reqs {
+		d.PortMask |= 1 << uint(rq.Dir)
+		if escape && rq.VC == 0 {
+			d.EscapeRequested = true
+			continue
+		}
+		if !((hasX && rq.Dir == dx) || (hasY && rq.Dir == dy)) {
+			d.MinimalProgress = false
+		}
+		adaptiveMask |= 1 << uint(rq.Dir)
+		d.OfferedVCs++
+		ov := &r.out[rq.Dir].vcs[rq.VC]
+		if ov.idle(r.cfg.BufDepth) {
+			d.IdleVCs++
+		} else if ov.owner == dest {
+			d.FootprintVCs++
+		}
+	}
+	for m := adaptiveMask; m != 0; m &= m - 1 {
+		d.OfferedPorts++
+	}
+	r.cfg.Metrics.OnRouteDecision(r.now, r.cfg.NodeID, p, d)
+}
+
+// classifyVC returns the VCClass of output VC (d, vc) for a packet to
+// dest, read against the VC's pre-grant state. Local-port grants
+// (ejection) are classified by occupancy only — the escape class applies
+// to network ports.
+func (r *Router) classifyVC(d topo.Direction, vc, dest int) VCClass {
+	if vc == 0 && d != topo.Local && r.cfg.Alg.UsesEscape() {
+		return VCClassEscape
+	}
+	ov := &r.out[d].vcs[vc]
+	if ov.idle(r.cfg.BufDepth) {
+		return VCClassIdle
+	}
+	if ov.owner == dest {
+		return VCClassFootprint
+	}
+	return VCClassBusy
+}

@@ -44,9 +44,23 @@ type MetricsSink interface {
 	OnVCAllocFailure(now int64, node int, p *flit.Packet, out topo.Direction, footprintVCs, busyVCs int, waited int64)
 
 	// OnVCAllocGrant fires when a head packet wins output VC (out, outVC).
-	// waited is the number of cycles the packet previously failed
-	// allocation at this router (0 = granted on the first attempt).
-	OnVCAllocGrant(now int64, node int, p *flit.Packet, out topo.Direction, outVC int, waited int64)
+	// class is the VC's state immediately before the grant claimed it
+	// (idle / footprint / busy / escape); waited is the number of cycles
+	// the packet previously failed allocation at this router (0 = granted
+	// on the first attempt).
+	OnVCAllocGrant(now int64, node int, p *flit.Packet, out topo.Direction, outVC int, class VCClass, waited int64)
+
+	// WantRouteDecisions reports whether the sink consumes per-decision
+	// adaptiveness records. Routers cache the answer at attach time; it
+	// must be constant over the sink's lifetime. It is a separate
+	// capability from WantPacketEvents because building a Decision walks
+	// the request set — costlier than stamping a lifecycle event.
+	WantRouteDecisions() bool
+
+	// OnRouteDecision fires at most once per packet per router, right
+	// after the packet's route is first computed, carrying the exercised
+	// adaptiveness of that decision. Ejection decisions are not reported.
+	OnRouteDecision(now int64, node int, p *flit.Packet, d Decision)
 
 	// OnHeadTraverse fires when a packet's head flit crosses the crossbar
 	// into output port out on VC outVC: one event per hop.
@@ -74,7 +88,13 @@ func (NopSink) OnRoute(int64, int, *flit.Packet, topo.Direction) {}
 func (NopSink) OnVCAllocFailure(int64, int, *flit.Packet, topo.Direction, int, int, int64) {}
 
 // OnVCAllocGrant implements MetricsSink.
-func (NopSink) OnVCAllocGrant(int64, int, *flit.Packet, topo.Direction, int, int64) {}
+func (NopSink) OnVCAllocGrant(int64, int, *flit.Packet, topo.Direction, int, VCClass, int64) {}
+
+// WantRouteDecisions implements MetricsSink.
+func (NopSink) WantRouteDecisions() bool { return false }
+
+// OnRouteDecision implements MetricsSink.
+func (NopSink) OnRouteDecision(int64, int, *flit.Packet, Decision) {}
 
 // OnHeadTraverse implements MetricsSink.
 func (NopSink) OnHeadTraverse(int64, int, *flit.Packet, topo.Direction, int) {}
@@ -130,9 +150,24 @@ func (t teeSink) OnVCAllocFailure(now int64, node int, p *flit.Packet, out topo.
 	}
 }
 
-func (t teeSink) OnVCAllocGrant(now int64, node int, p *flit.Packet, out topo.Direction, outVC int, waited int64) {
+func (t teeSink) OnVCAllocGrant(now int64, node int, p *flit.Packet, out topo.Direction, outVC int, class VCClass, waited int64) {
 	for _, s := range t {
-		s.OnVCAllocGrant(now, node, p, out, outVC, waited)
+		s.OnVCAllocGrant(now, node, p, out, outVC, class, waited)
+	}
+}
+
+func (t teeSink) WantRouteDecisions() bool {
+	for _, s := range t {
+		if s.WantRouteDecisions() {
+			return true
+		}
+	}
+	return false
+}
+
+func (t teeSink) OnRouteDecision(now int64, node int, p *flit.Packet, d Decision) {
+	for _, s := range t {
+		s.OnRouteDecision(now, node, p, d)
 	}
 }
 

@@ -158,6 +158,9 @@ type Router struct {
 	// wantEvents caches Metrics.WantPacketEvents() so the per-packet
 	// lifecycle callbacks cost one branch when no consumer wants them.
 	wantEvents bool
+	// wantDecisions caches Metrics.WantRouteDecisions() the same way for
+	// the per-decision adaptiveness records.
+	wantDecisions bool
 }
 
 // New constructs a router. Input and output channels are attached later by
@@ -203,6 +206,7 @@ func New(cfg Config) *Router {
 	}
 	if cfg.Metrics != nil {
 		r.wantEvents = cfg.Metrics.WantPacketEvents()
+		r.wantDecisions = cfg.Metrics.WantRouteDecisions()
 	}
 	return r
 }
@@ -389,6 +393,9 @@ func (r *Router) AllocateVCs() {
 						// (escape request is appended last by convention).
 						r.reqPort[requester] = iv.reqs[0].Dir
 					}
+					if r.wantDecisions && !iv.routed {
+						r.emitDecision(topo.Direction(p), f.Packet.Dest, iv.reqs, f.Packet)
+					}
 				}
 				iv.routed = true
 			}
@@ -423,11 +430,17 @@ func (r *Router) AllocateVCs() {
 		r.routingCount[p]--
 		r.activeCount[p]++
 		ov := &r.out[od].vcs[ovc]
+		var class VCClass
+		if r.wantEvents {
+			// Classify against the pre-grant state: the assignments below
+			// mark the VC allocated/owned, which would read as busy.
+			class = r.classifyVC(od, ovc, iv.front().Packet.Dest)
+		}
 		ov.allocated = true
 		ov.owner = iv.front().Packet.Dest
 		ov.regOwner = ov.owner
 		if r.wantEvents {
-			r.cfg.Metrics.OnVCAllocGrant(r.now, r.cfg.NodeID, iv.front().Packet, od, ovc, iv.blocked)
+			r.cfg.Metrics.OnVCAllocGrant(r.now, r.cfg.NodeID, iv.front().Packet, od, ovc, class, iv.blocked)
 		}
 	}
 

@@ -53,6 +53,15 @@ func countAllowedPaths(m topo.Mesh, alg Algorithm, cur, dest int, inDir topo.Dir
 	return n
 }
 
+// AllowedPorts returns the adaptive output ports alg permits at cur
+// toward dest for a packet that arrived from inDir: the static per-hop
+// choice set whose size bounds, at every router, how many ports a
+// runtime decision can offer. The anatomy invariant tests compare the
+// exercised adaptiveness aggregates against this bound.
+func AllowedPorts(m topo.Mesh, alg Algorithm, cur, dest int, inDir topo.Direction) []topo.Direction {
+	return allowedPorts(m, alg, cur, dest, inDir)
+}
+
 // allowedPorts returns the adaptive output ports alg permits at cur toward
 // dest for a packet that arrived from inDir (escape-channel ports excluded
 // unless they are also adaptive ports).

@@ -31,6 +31,7 @@ func scrubPoints(pts []SweepPoint) []SweepPoint {
 		r.Runtime = RuntimeStats{}
 		r.PerfProfile = nil
 		r.Obs = nil
+		r.Anatomy = nil
 		r.Config = Config{}
 		if math.IsNaN(r.P99) {
 			r.P99 = -1
@@ -47,6 +48,7 @@ func scrubHotspot(pts []HotspotPoint) []HotspotPoint {
 		r.Runtime = RuntimeStats{}
 		r.PerfProfile = nil
 		r.Obs = nil
+		r.Anatomy = nil
 		r.Config = Config{}
 		if math.IsNaN(r.P99) {
 			r.P99 = -1

@@ -64,6 +64,11 @@ type Result struct {
 	// Obs is the run's observability collector (nil when Config.Obs is
 	// disabled); experiment harnesses export its data per run.
 	Obs *obs.Collector
+	// Anatomy is the run's latency anatomy and exercised adaptiveness
+	// (nil unless Config.Obs.Anatomy). Like PerfProfile it is a
+	// telemetry payload: determinism goldens scrub it, and it must never
+	// feed back into fabric behaviour.
+	Anatomy *obs.Anatomy
 }
 
 // RuntimeStats are the simulator's self-metrics: how fast the host
@@ -364,6 +369,19 @@ func (s *Simulation) heartbeat(now int64) {
 	if s.prof != nil {
 		u.Phases = s.prof.Snapshot()
 	}
+	if s.col != nil {
+		if s.col.Tracer != nil {
+			u.TraceEvents = s.col.Tracer.Total()
+			u.TraceDropped = s.col.Tracer.Dropped()
+		}
+		if s.col.Anatomy != nil {
+			u.Anatomy = s.col.Anatomy.Aggregate()
+			if smp := s.col.Anatomy.Samples(); len(smp) > 0 {
+				last := smp[len(smp)-1]
+				u.Occupancy = &last
+			}
+		}
+	}
 	if s.measuring && now > s.measStart {
 		end := now
 		if end > s.measEnd {
@@ -485,6 +503,21 @@ func (s *Simulation) Run() *Result {
 	}
 	if s.measured > 0 {
 		res.HoLDegree = s.met.holDegree() / float64(s.measured) * 1000
+	}
+	if s.col != nil {
+		if s.col.Anatomy != nil {
+			res.Anatomy = s.col.Anatomy.Aggregate()
+		}
+		if s.col.Tracer != nil {
+			// Ring overflow silently truncates the lifecycle record; make
+			// the loss visible so trace-derived analyses are not trusted
+			// over a partial window.
+			if d := s.col.Tracer.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr,
+					"sim: warning: trace ring overflowed — %d of %d lifecycle events dropped (raise the trace capacity)\n",
+					d, s.col.Tracer.Total())
+			}
+		}
 	}
 	if s.prof != nil {
 		pp := s.prof.Profile()

@@ -64,6 +64,48 @@ func TestObsOverheadBudget(t *testing.T) {
 	}
 }
 
+// TestAnatomyOverheadBudget bounds the anatomy collector's cost under the
+// same regime as the full-collector path: 2.5x best-of-3, alternating so
+// both paths sample the same host conditions. The anatomy path adds one
+// map operation per lifecycle event of measured packets plus one Decision
+// construction per (packet, router); a blown ratio means a callback lost
+// its wantEvents/wantDecisions gate or the decision walk started
+// allocating.
+func TestAnatomyOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	one := func(o obs.Options) float64 {
+		cfg := benchProfile().BaseConfig()
+		cfg.Obs = o
+		res, err := Run(cfg, "uniform", 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Anatomy && (res.Anatomy == nil || res.Anatomy.Packets == 0) {
+			t.Fatal("anatomy enabled but no aggregate attached")
+		}
+		return res.Runtime.CyclesPerSec
+	}
+	var disabled, enabled float64
+	for i := 0; i < 3; i++ {
+		if cps := one(obs.Options{}); cps > disabled {
+			disabled = cps
+		}
+		if cps := one(obs.Options{Anatomy: true}); cps > enabled {
+			enabled = cps
+		}
+	}
+	if disabled <= 0 || enabled <= 0 {
+		t.Fatalf("degenerate rates: disabled %.0f, enabled %.0f cycles/s", disabled, enabled)
+	}
+	ratio := disabled / enabled
+	t.Logf("cycles/s: disabled %.0f, anatomy %.0f (%.2fx overhead)", disabled, enabled, ratio)
+	if ratio > 2.5 {
+		t.Errorf("anatomy collection costs %.2fx (budget 2.5x): an event callback lost its gate?", ratio)
+	}
+}
+
 // TestPhaseProfilerOverheadBudget bounds the phase profiler's cost. The
 // design target is <=5% at the default sampling period (the profiler
 // touches one cycle in 64), and quiet hosts measure well under that; the
