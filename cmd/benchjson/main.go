@@ -90,6 +90,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: engine reference %s\n", rt.String())
 		if pp := res.PerfProfile; pp != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: engine phases %s\n", pp.String())
+			if pp.Arena != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: engine arena %s\n", pp.Arena)
+			}
 		}
 	}
 

@@ -127,6 +127,9 @@ func main() {
 			fmt.Printf("%18s %9.2fms %7.1f%% %11.1fKB %10d\n",
 				ph.Phase, float64(ph.Nanos)/1e6, 100*ph.TimeShare, float64(ph.AllocBytes)/1024, ph.Allocs)
 		}
+		if pp.Arena != nil {
+			fmt.Printf("%18s %s\n", "arena", pp.Arena)
+		}
 	}
 	if anat.Enabled() {
 		fmt.Println()

@@ -30,13 +30,19 @@ func NewRoundRobin(n int) *RoundRobin {
 }
 
 // Arbitrate grants the first requester at or after the round-robin pointer
-// and advances the pointer past the winner.
+// and advances the pointer past the winner. The wrap-around search is two
+// linear scans so the hot path avoids a modulo per step.
 func (a *RoundRobin) Arbitrate(requests []bool) int {
 	if len(requests) != a.n {
 		panic("alloc: request vector size mismatch")
 	}
-	for i := 0; i < a.n; i++ {
-		idx := (a.next + i) % a.n
+	for idx := a.next; idx < a.n; idx++ {
+		if requests[idx] {
+			a.next = (idx + 1) % a.n
+			return idx
+		}
+	}
+	for idx := 0; idx < a.next; idx++ {
 		if requests[idx] {
 			a.next = (idx + 1) % a.n
 			return idx

@@ -39,6 +39,7 @@ type Obs struct {
 	PprofAddr      string
 	Profile        bool
 	ProfileEvery   int64
+	StepAll        bool
 
 	Hub    *obs.Hub
 	server *obs.Server
@@ -60,6 +61,8 @@ func NewObs(tool string) *Obs {
 		"profile the cycle loop: attribute time and allocations to pipeline phases on sampled cycles; results are unchanged")
 	flag.Int64Var(&o.ProfileEvery, "profile-every", 0,
 		"phase-profiler sampling period in cycles (0 = default 64)")
+	flag.BoolVar(&o.StepAll, "stepall", false,
+		"debug: step every router and endpoint every cycle instead of only the active set; results are bit-identical, only slower")
 	return o
 }
 
@@ -103,6 +106,7 @@ func (o *Obs) ApplyProfile(p *exp.Profile) {
 	p.Monitor = o.Hub
 	p.WatchdogCycles = o.WatchdogCycles
 	p.WatchdogOut = o.WatchdogOut
+	p.StepAll = o.StepAll
 	if o.Profile {
 		p.Obs.Profile = true
 		p.Obs.ProfileEvery = o.ProfileEvery
@@ -116,6 +120,7 @@ func (o *Obs) ApplyConfig(cfg *sim.Config) {
 	cfg.Monitor = o.Hub
 	cfg.WatchdogCycles = o.WatchdogCycles
 	cfg.WatchdogOut = o.WatchdogOut
+	cfg.StepAll = o.StepAll
 	if o.Profile {
 		cfg.Obs.Profile = true
 		cfg.Obs.ProfileEvery = o.ProfileEvery

@@ -44,6 +44,10 @@ type Profile struct {
 	// snapshot path.
 	WatchdogCycles int64
 	WatchdogOut    string
+	// StepAll disables the active-set worklist in every run of the
+	// experiment (see sim.Config.StepAll) — the debug mode the
+	// determinism gate diffs against.
+	StepAll bool
 }
 
 // FullProfile is the publication-quality effort level.
@@ -92,6 +96,7 @@ func (p Profile) apply(cfg sim.Config) sim.Config {
 	cfg.Monitor = p.Monitor
 	cfg.WatchdogCycles = p.WatchdogCycles
 	cfg.WatchdogOut = p.WatchdogOut
+	cfg.StepAll = p.StepAll
 	return cfg
 }
 

@@ -45,7 +45,17 @@ type Packet struct {
 
 	// Hops is incremented each time the head flit traverses a router.
 	Hops int
+
+	// arena/handle tie an arena-managed packet back to its slot; both
+	// are zero for plain heap-allocated packets, which Arena.FreePacket
+	// ignores.
+	arena  *Arena
+	handle Handle
 }
+
+// Handle returns the packet's arena handle, or 0 when the packet is not
+// arena-managed.
+func (p *Packet) Handle() Handle { return p.handle }
 
 // Latency returns the packet latency in cycles, measured from creation
 // (including source queueing) to tail ejection, as BookSim reports it.
@@ -65,7 +75,16 @@ type Flit struct {
 	// VC is the virtual channel the flit occupies on its current channel;
 	// it is rewritten hop by hop by the VC allocator.
 	VC int
+
+	// arena/handle tie an arena-managed flit back to its slot; zero for
+	// heap-allocated flits (Segment's output).
+	arena  *Arena
+	handle Handle
 }
+
+// Handle returns the flit's arena handle, or 0 when the flit is not
+// arena-managed.
+func (f *Flit) Handle() Handle { return f.handle }
 
 // Segment splits a packet into its flits.
 func Segment(p *Packet) []*Flit {

@@ -1,0 +1,183 @@
+package network_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocsim/internal/network"
+	"nocsim/internal/routing"
+	"nocsim/internal/topo"
+)
+
+// FuzzCreditConservation drives a fuzz-shaped fabric with a finite packet
+// schedule and checks credit-based flow control's conservation law after
+// every cycle: for each inter-router link and VC, the upstream output
+// VC's available credits plus the downstream input VC's buffered flits
+// never exceed the buffer depth, and neither side ever goes negative.
+// (Flits and credits in flight on the one-cycle channel pipelines account
+// for the remainder, so the observable sum only ever undershoots the
+// depth, never overshoots.) Alongside, the arena's live-packet count must
+// track the network's in-flight count exactly — the allocation overhaul
+// recycles flit and packet slots at ejection, and a leak or double-free
+// on any path breaks this equality immediately.
+//
+// The schedule is finite, so the run must also drain: every credit
+// returns, every buffer empties, and the arena's live counts reach zero.
+// A fuzz input that fails to drain within the generous cycle budget has
+// found a deadlock or a lost credit, either of which is a real bug.
+func FuzzCreditConservation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 0, 9, 200, 4, 4, 4, 4, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0xff, 0x55, 0xaa, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66})
+	for i, name := range routing.Names() {
+		seed := make([]byte, 40)
+		for j := range seed {
+			seed[j] = byte(i*53 + j*7 + len(name))
+		}
+		f.Add(seed)
+	}
+
+	names := routing.Names()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() int {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return int(b)
+		}
+		pick := func(n int) int { return next() % n }
+
+		name := names[pick(len(names))]
+		mesh := topo.MustNew(2+pick(3), 2+pick(3))
+		vcs := 2 + pick(3)
+		depth := 1 + pick(4)
+		cfg := network.Config{
+			Mesh:     mesh,
+			VCs:      vcs,
+			BufDepth: depth,
+			Speedup:  1 + pick(2),
+			NewAlg:   func() routing.Algorithm { return routing.MustNew(name) },
+			Rand:     rand.New(rand.NewSource(int64(next()))),
+		}
+		// Optionally throttle one endpoint's ejection bandwidth, the
+		// paper's second source of endpoint congestion; the interval
+		// stays small so the schedule still drains.
+		if next()%2 == 0 {
+			cfg.SlowEndpoints = map[int]int{pick(mesh.Nodes()): 2 + pick(3)}
+		}
+		net := network.New(cfg)
+
+		// Finite schedule: a few packets per decoded burst, offered over
+		// the first cycles of the run.
+		type offer struct {
+			cycle     int64
+			src, dest int
+			size      int
+		}
+		var schedule []offer
+		nPkts := 1 + pick(20)
+		var lastOffer int64
+		for i := 0; i < nPkts; i++ {
+			src := pick(mesh.Nodes())
+			dest := pick(mesh.Nodes())
+			if dest == src {
+				dest = (dest + 1) % mesh.Nodes()
+			}
+			o := offer{
+				cycle: int64(pick(32)),
+				src:   src,
+				dest:  dest,
+				size:  1 + pick(4),
+			}
+			if o.cycle > lastOffer {
+				lastOffer = o.cycle
+			}
+			schedule = append(schedule, o)
+		}
+
+		checkConservation := func(cycle int64) {
+			for id := 0; id < mesh.Nodes(); id++ {
+				up := net.Router(id)
+				for d := topo.East; d <= topo.South; d++ {
+					nb, ok := mesh.Neighbor(id, d)
+					if !ok {
+						continue
+					}
+					down := net.Router(nb)
+					for v := 0; v < vcs; v++ {
+						c := up.OutVCCredits(d, v)
+						use := down.InputBufferUse(d.Opposite(), v)
+						if c < 0 || use < 0 || c+use > depth {
+							t.Fatalf("cycle %d link %d-%v->%d vc %d: credits %d + buffered %d outside [0,%d]",
+								cycle, id, d, nb, v, c, use, depth)
+						}
+					}
+				}
+			}
+			st := net.Arena().Stats()
+			if st.Packets.Live != net.InFlight() {
+				t.Fatalf("cycle %d: arena live packets %d != in-flight %d",
+					cycle, st.Packets.Live, net.InFlight())
+			}
+		}
+
+		const drainBudget = 4000
+		var pktID uint64
+		for cycle := int64(0); ; cycle++ {
+			for _, o := range schedule {
+				if o.cycle != cycle {
+					continue
+				}
+				p := net.Arena().NewPacket()
+				pktID++
+				p.ID = pktID
+				p.Src, p.Dest, p.Size = o.src, o.dest, o.size
+				p.Born = cycle
+				net.Offer(p)
+			}
+			net.Step()
+			checkConservation(cycle)
+			if cycle > lastOffer && net.InFlight() == 0 {
+				break
+			}
+			if cycle > lastOffer+drainBudget {
+				t.Fatalf("fabric failed to drain: %d packets still in flight after %d cycles (alg %s, %dx%d, %d VCs, depth %d)",
+					net.InFlight(), drainBudget, name, mesh.Width, mesh.Height, vcs, depth)
+			}
+		}
+
+		// Let in-flight credits on the channel pipelines land, then the
+		// conservation sums must telescope back to exactly full credit
+		// and empty buffers everywhere.
+		for i := 0; i < 8; i++ {
+			net.Step()
+		}
+		for id := 0; id < mesh.Nodes(); id++ {
+			up := net.Router(id)
+			for d := topo.East; d <= topo.South; d++ {
+				nb, ok := mesh.Neighbor(id, d)
+				if !ok {
+					continue
+				}
+				down := net.Router(nb)
+				for v := 0; v < vcs; v++ {
+					if c := up.OutVCCredits(d, v); c != depth {
+						t.Fatalf("drained fabric: link %d-%v->%d vc %d has %d credits, want %d",
+							id, d, nb, v, c, depth)
+					}
+					if use := down.InputBufferUse(d.Opposite(), v); use != 0 {
+						t.Fatalf("drained fabric: link %d-%v->%d vc %d still buffers %d flits",
+							id, d, nb, v, use)
+					}
+				}
+			}
+		}
+		st := net.Arena().Stats()
+		if st.Flits.Live != 0 || st.Packets.Live != 0 {
+			t.Fatalf("drained fabric leaks arena slots: %s", st)
+		}
+	})
+}

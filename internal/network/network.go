@@ -31,6 +31,19 @@ type Config struct {
 	// ejection bandwidth is below the port bandwidth (Section 2's second
 	// source of endpoint congestion). Unlisted nodes drain every cycle.
 	SlowEndpoints map[int]int
+	// StepAll disables the active-set worklist: Step visits every router
+	// and endpoint every cycle, as the pre-worklist loop did. A debug
+	// mode — results must be bit-identical either way (the determinism
+	// gate compares the two), it only costs time.
+	StepAll bool
+}
+
+// chanLink is one channel with the nodes it can wake: a busy channel has
+// a flit or credit to deliver, so both its endpoints' nodes must step.
+// Injection/ejection channels name the same node twice.
+type chanLink struct {
+	ch   *router.Channel
+	a, b int
 }
 
 // Network is a running mesh fabric.
@@ -38,9 +51,15 @@ type Network struct {
 	cfg       Config
 	routers   []*router.Router
 	endpoints []*router.Endpoint
-	channels  []*router.Channel
+	links     []chanLink
+	arena     *flit.Arena
 	now       int64
 	inFlight  int
+
+	// activeMark/activeNodes are the worklist scratch: the node ids that
+	// can do work this cycle, ascending. Reused across cycles.
+	activeMark  []bool
+	activeNodes []int
 
 	// Sink, when set, receives every packet as its tail flit is consumed
 	// at the destination endpoint. Set it before offering traffic.
@@ -104,10 +123,12 @@ type PhaseProbe interface {
 // New builds the mesh: one router and endpoint per node, one channel per
 // directed link (including injection and ejection links).
 func New(cfg Config) *Network {
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, arena: flit.NewArena()}
 	nodes := cfg.Mesh.Nodes()
 	n.routers = make([]*router.Router, nodes)
 	n.endpoints = make([]*router.Endpoint, nodes)
+	n.activeMark = make([]bool, nodes)
+	n.activeNodes = make([]int, 0, nodes)
 
 	for id := 0; id < nodes; id++ {
 		n.routers[id] = router.New(router.Config{
@@ -132,7 +153,7 @@ func New(cfg Config) *Network {
 				continue
 			}
 			ch := router.NewChannel()
-			n.channels = append(n.channels, ch)
+			n.links = append(n.links, chanLink{ch: ch, a: id, b: nb})
 			n.routers[id].AttachOut(d, ch)
 			n.routers[nb].AttachIn(d.Opposite(), ch)
 		}
@@ -141,11 +162,12 @@ func New(cfg Config) *Network {
 	for id := 0; id < nodes; id++ {
 		inj := router.NewChannel()
 		ej := router.NewChannel()
-		n.channels = append(n.channels, inj, ej)
+		n.links = append(n.links, chanLink{ch: inj, a: id, b: id}, chanLink{ch: ej, a: id, b: id})
 		n.routers[id].AttachIn(topo.Local, inj)
 		n.routers[id].AttachOut(topo.Local, ej)
 		ep := router.NewEndpoint(id, cfg.VCs, cfg.BufDepth, inj, ej)
 		ep.SetMetrics(cfg.Metrics)
+		ep.UseArena(n.arena)
 		if iv, ok := cfg.SlowEndpoints[id]; ok {
 			ep.ConsumeInterval = iv
 		}
@@ -192,33 +214,78 @@ func (n *Network) Offer(p *flit.Packet) {
 	n.endpoints[p.Src].Offer(p)
 }
 
-// Step advances the fabric by one cycle. Phases are globally ordered so
-// results are independent of router iteration order: all receives, then
-// all routing+VC allocation, then all switch traversal and endpoint
-// activity, then all links tick.
+// Arena returns the fabric's flit/packet arena. Injectors allocate
+// packets from it (endpoints recycle them at ejection) and the profiler
+// reads its live/free/high-water accounting.
+func (n *Network) Arena() *flit.Arena { return n.arena }
+
+// computeActive rebuilds the worklist for this cycle: a node is active
+// when its router or endpoint holds work, or when any attached channel is
+// busy (a flit or credit will be delivered to it this cycle). Everything
+// a skipped node could do is a provable no-op — its per-cycle state
+// transitions are all driven by held work or channel arrivals, and the
+// arbiters update fairness state only on grants — so skipping cannot
+// change any simulated result. The list is ascending in node id, keeping
+// iteration order (and shared-RNG consumption order) identical to the
+// step-everything loop. With Config.StepAll the list is simply every
+// node.
+func (n *Network) computeActive() {
+	n.activeNodes = n.activeNodes[:0]
+	if n.cfg.StepAll {
+		for id := range n.routers {
+			n.activeNodes = append(n.activeNodes, id)
+		}
+		return
+	}
+	for id := range n.activeMark {
+		n.activeMark[id] = !n.routers[id].Quiescent() || !n.endpoints[id].Quiescent()
+	}
+	for _, l := range n.links {
+		if l.ch.Busy() {
+			n.activeMark[l.a] = true
+			n.activeMark[l.b] = true
+		}
+	}
+	for id, m := range n.activeMark {
+		if m {
+			n.activeNodes = append(n.activeNodes, id)
+		}
+	}
+}
+
+// Step advances the fabric by one cycle, visiting only the active nodes.
+// Phases are globally ordered so results are independent of router
+// iteration order: all receives, then all routing+VC allocation, then
+// all switch traversal and endpoint activity, then all links tick.
 func (n *Network) Step() {
 	if n.Probe != nil && n.Probe.BeginCycle(n.now) {
 		n.stepProbed()
 		return
 	}
-	for _, e := range n.endpoints {
-		e.Receive()
+	n.computeActive()
+	for _, id := range n.activeNodes {
+		n.endpoints[id].Receive()
 	}
-	for _, r := range n.routers {
+	for _, id := range n.activeNodes {
+		r := n.routers[id]
+		r.SyncClock(n.now)
 		r.Receive()
 	}
-	for _, r := range n.routers {
-		r.AllocateVCs()
+	for _, id := range n.activeNodes {
+		n.routers[id].AllocateVCs()
 	}
-	for _, r := range n.routers {
-		r.SwitchAndTraverse()
+	for _, id := range n.activeNodes {
+		n.routers[id].SwitchAndTraverse()
 	}
-	for _, e := range n.endpoints {
+	for _, id := range n.activeNodes {
+		e := n.endpoints[id]
 		e.Consume(n.now)
 		e.Inject(n.now)
 	}
-	for _, ch := range n.channels {
-		ch.Tick()
+	// Ticking an idle channel is a no-op, so the link phase is identical
+	// with or without the worklist.
+	for _, l := range n.links {
+		l.ch.Tick()
 	}
 	n.now++
 }
@@ -229,30 +296,34 @@ func (n *Network) Step() {
 // sampling can never change simulated results.
 func (n *Network) stepProbed() {
 	p := n.Probe
+	n.computeActive()
 	p.BeginPhase(PhaseInjectEject)
-	for _, e := range n.endpoints {
-		e.Receive()
+	for _, id := range n.activeNodes {
+		n.endpoints[id].Receive()
 	}
 	p.BeginPhase(PhaseRouteCompute)
-	for _, r := range n.routers {
+	for _, id := range n.activeNodes {
+		r := n.routers[id]
+		r.SyncClock(n.now)
 		r.Receive()
 	}
 	p.BeginPhase(PhaseVCAlloc)
-	for _, r := range n.routers {
-		r.AllocateVCs()
+	for _, id := range n.activeNodes {
+		n.routers[id].AllocateVCs()
 	}
 	p.BeginPhase(PhaseSwitchAlloc)
-	for _, r := range n.routers {
-		r.SwitchAndTraverse()
+	for _, id := range n.activeNodes {
+		n.routers[id].SwitchAndTraverse()
 	}
 	p.BeginPhase(PhaseInjectEject)
-	for _, e := range n.endpoints {
+	for _, id := range n.activeNodes {
+		e := n.endpoints[id]
 		e.Consume(n.now)
 		e.Inject(n.now)
 	}
 	p.BeginPhase(PhaseLinkTraversal)
-	for _, ch := range n.channels {
-		ch.Tick()
+	for _, l := range n.links {
+		l.ch.Tick()
 	}
 	p.EndCycle()
 	n.now++

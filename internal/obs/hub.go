@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"nocsim/internal/flit"
 	"nocsim/internal/network"
 	"nocsim/internal/topo"
 )
@@ -82,10 +83,13 @@ type RunStatus struct {
 	// Occupancy is the latest footprint-occupancy sample.
 	Anatomy   *Anatomy       `json:"anatomy,omitempty"`
 	Occupancy *AnatomySample `json:"occupancy,omitempty"`
-	Stalled   bool           `json:"stalled,omitempty"`
-	Done      bool           `json:"done"`
-	Started   time.Time      `json:"started"`
-	Updated   time.Time      `json:"updated"`
+	// Arena is the latest flit/packet arena account of the run's fabric:
+	// live/free/high-water slots and the allocated-vs-reused split.
+	Arena   *flit.ArenaStats `json:"arena,omitempty"`
+	Stalled bool             `json:"stalled,omitempty"`
+	Done    bool             `json:"done"`
+	Started time.Time        `json:"started"`
+	Updated time.Time        `json:"updated"`
 }
 
 // FabricGauges is the latest per-router counter sample published by a
@@ -146,6 +150,8 @@ type RunUpdate struct {
 	// off); Occupancy the latest footprint-occupancy sample.
 	Anatomy   *Anatomy
 	Occupancy *AnatomySample
+	// Arena carries the fabric's flit/packet arena account.
+	Arena *flit.ArenaStats
 }
 
 // Update publishes a heartbeat.
@@ -180,6 +186,9 @@ func (rh *RunHandle) Update(u RunUpdate) {
 	}
 	if u.Occupancy != nil {
 		r.Occupancy = u.Occupancy
+	}
+	if u.Arena != nil {
+		r.Arena = u.Arena
 	}
 	if r.Total > 0 {
 		r.Percent = 100 * float64(r.Cycle) / float64(r.Total)

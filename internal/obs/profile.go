@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"nocsim/internal/flit"
 	"nocsim/internal/network"
 	"nocsim/internal/prof"
 )
@@ -72,6 +73,11 @@ type PerfProfile struct {
 	// GC is the run-level collector account (filled by the simulation
 	// from its run-boundary MemStats reads).
 	GC GCStats `json:"gc"`
+	// Arena is the fabric's flit/packet arena account at run end (filled
+	// by the simulation): live/free/high-water slots and the
+	// allocated-vs-reused split. Unlike the host metrics above it is
+	// deterministic — the counters move only on fabric events.
+	Arena *flit.ArenaStats `json:"arena,omitempty"`
 }
 
 // String renders the profile as a one-line phase breakdown.

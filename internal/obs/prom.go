@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"nocsim/internal/flit"
 	"nocsim/internal/router"
 )
 
@@ -194,6 +195,29 @@ func (h *Hub) writeMetrics(w io.Writer) error {
 		func(r *RunStatus) float64 { return float64(r.TraceEvents) })
 	perRun("nocsim_trace_dropped_events_total", "Lifecycle events lost to trace-ring overwrite; nonzero means the trace only covers a suffix of the run.", "counter",
 		func(r *RunStatus) float64 { return float64(r.TraceDropped) })
+
+	// Arena families, labeled by run and pool (flits/packets), for runs
+	// whose fabric published an arena account.
+	perArena := func(name, help, typ string, get func(p *flit.PoolStats) float64) {
+		p.Family(name, help, typ)
+		for _, r := range runs {
+			if r.Arena == nil {
+				continue
+			}
+			p.Sample(name, []PromLabel{{"run", r.Label}, {"pool", "flits"}}, get(&r.Arena.Flits))
+			p.Sample(name, []PromLabel{{"run", r.Label}, {"pool", "packets"}}, get(&r.Arena.Packets))
+		}
+	}
+	perArena("nocsim_arena_live", "Arena slots currently allocated to the fabric.", "gauge",
+		func(p *flit.PoolStats) float64 { return float64(p.Live) })
+	perArena("nocsim_arena_free", "Recycled arena slots awaiting reuse.", "gauge",
+		func(p *flit.PoolStats) float64 { return float64(p.Free) })
+	perArena("nocsim_arena_high_water", "Maximum live arena slots observed (working-set size).", "gauge",
+		func(p *flit.PoolStats) float64 { return float64(p.HighWater) })
+	perArena("nocsim_arena_allocs_total", "Arena allocations served since run start.", "counter",
+		func(p *flit.PoolStats) float64 { return float64(p.Allocs) })
+	perArena("nocsim_arena_reused_total", "Arena allocations served from the free-list rather than by growing a slab.", "counter",
+		func(p *flit.PoolStats) float64 { return float64(p.Reused) })
 
 	// Latency-anatomy families, for the runs whose anatomy collector is
 	// enabled. Labels: run (+ component or vc_class).

@@ -26,6 +26,15 @@ func NewChannel() *Channel { return &Channel{} }
 // CanSend reports whether the sender may stage a flit this cycle.
 func (c *Channel) CanSend() bool { return c.staged == nil }
 
+// Busy reports whether the channel carries any traffic in either
+// pipeline: a flit staged or awaiting delivery, or credits in flight. An
+// idle channel's Tick is a no-op and it cannot wake either endpoint, so
+// the network's active-set worklist skips it.
+func (c *Channel) Busy() bool {
+	return c.staged != nil || c.arrived != nil ||
+		len(c.stagedCredits) > 0 || len(c.arrivedCredits) > 0
+}
+
 // Send stages f for delivery next cycle. It panics when called twice in
 // one cycle; the link carries one flit per cycle.
 func (c *Channel) Send(f *flit.Flit) {

@@ -129,10 +129,10 @@ func (r *Router) emitDecision(in topo.Direction, dest int, reqs []routing.Reques
 		}
 		adaptiveMask |= 1 << uint(rq.Dir)
 		d.OfferedVCs++
-		ov := &r.out[rq.Dir].vcs[rq.VC]
-		if ov.idle(r.cfg.BufDepth) {
+		i := r.idx(rq.Dir, rq.VC)
+		if r.outIdle(i) {
 			d.IdleVCs++
-		} else if ov.owner == dest {
+		} else if int(r.outOwner[i]) == dest {
 			d.FootprintVCs++
 		}
 	}
@@ -150,11 +150,11 @@ func (r *Router) classifyVC(d topo.Direction, vc, dest int) VCClass {
 	if vc == 0 && d != topo.Local && r.cfg.Alg.UsesEscape() {
 		return VCClassEscape
 	}
-	ov := &r.out[d].vcs[vc]
-	if ov.idle(r.cfg.BufDepth) {
+	i := r.idx(d, vc)
+	if r.outIdle(i) {
 		return VCClassIdle
 	}
-	if ov.owner == dest {
+	if int(r.outOwner[i]) == dest {
 		return VCClassFootprint
 	}
 	return VCClassBusy

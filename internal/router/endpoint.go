@@ -22,14 +22,15 @@ type Endpoint struct {
 
 	// Injection side.
 	queue     []*flit.Packet
-	inFlight  []*flit.Flit // flits of the packet currently being injected
-	injVC     int          // local input VC held by the current packet
+	nextSeq   int // next flit of the packet currently being injected
+	injVC     int // local input VC held by the current packet
 	curPacket *flit.Packet
 	credits   []int // buffer credits per router local input VC
 	vcBusy    []bool
 	pickRR    int
 	// Ejection side.
 	ejBuf   [][]*flit.Flit
+	ejCount int // total flits across ejBuf
 	consume *alloc.RoundRobin
 	reqVec  []bool // scratch for Consume
 
@@ -41,6 +42,12 @@ type Endpoint struct {
 	// SetMetrics. wantEvents caches its WantPacketEvents answer.
 	metrics    MetricsSink
 	wantEvents bool
+
+	// arena, when set with UseArena, backs the flits the endpoint
+	// segments packets into; consumed flits and fully-ejected packets are
+	// recycled into it. Without an arena, flits are heap-allocated and
+	// left to the garbage collector.
+	arena *flit.Arena
 
 	// ConsumeInterval throttles the ejection bandwidth: the endpoint
 	// consumes at most one flit every ConsumeInterval cycles. 1 (the
@@ -83,6 +90,13 @@ func (e *Endpoint) SetMetrics(m MetricsSink) {
 	e.wantEvents = m != nil && m.WantPacketEvents()
 }
 
+// UseArena makes the endpoint segment packets into arena-backed flits
+// and recycle flits (at consumption) and packets (after the Sink sees
+// the tail) back into a. Packets not managed by a — heap packets from
+// arena-unaware injectors — are left alone. Must be set before traffic
+// flows.
+func (e *Endpoint) UseArena(a *flit.Arena) { e.arena = a }
+
 // Offer appends a packet to the source queue. The packet's Born cycle must
 // already be set by the traffic generator.
 func (e *Endpoint) Offer(p *flit.Packet) {
@@ -115,7 +129,18 @@ func (e *Endpoint) Receive() {
 			panic(fmt.Sprintf("router: endpoint %d ejection overflow vc %d", e.node, f.VC))
 		}
 		e.ejBuf[f.VC] = append(e.ejBuf[f.VC], f)
+		e.ejCount++
 	}
+}
+
+// Quiescent reports that the endpoint holds no work at a cycle boundary:
+// nothing queued for injection, no packet mid-injection, and no ejected
+// flit awaiting consumption. A quiescent endpoint's cycle is a no-op
+// (credit arrivals are signalled by the injection channel, which the
+// network's worklist watches separately), so it may be skipped without
+// changing any simulated result.
+func (e *Endpoint) Quiescent() bool {
+	return len(e.queue) == 0 && e.curPacket == nil && e.ejCount == 0
 }
 
 // Consume drains at most one ejected flit (the endpoint's ejection
@@ -138,6 +163,7 @@ func (e *Endpoint) Consume(now int64) {
 	f := e.ejBuf[v][0]
 	copy(e.ejBuf[v], e.ejBuf[v][1:])
 	e.ejBuf[v] = e.ejBuf[v][:len(e.ejBuf[v])-1]
+	e.ejCount--
 	e.ejCh.SendCredit(flit.Credit{VC: v, Tail: f.Tail})
 	if f.Tail {
 		p := f.Packet
@@ -151,6 +177,15 @@ func (e *Endpoint) Consume(now int64) {
 		if e.Sink != nil {
 			e.Sink(p)
 		}
+		if e.arena != nil {
+			// The packet's pointer identity was needed through the Sink
+			// chain (trace players key in-flight state by it); now the
+			// last observer has run, the slot can be recycled.
+			e.arena.FreePacket(p)
+		}
+	}
+	if e.arena != nil {
+		e.arena.FreeFlit(f)
 	}
 }
 
@@ -170,15 +205,17 @@ func (e *Endpoint) Inject(now int64) {
 		e.curPacket = e.queue[0]
 		copy(e.queue, e.queue[1:])
 		e.queue = e.queue[:len(e.queue)-1]
-		e.inFlight = flit.Segment(e.curPacket)
+		e.nextSeq = 0
 		e.injVC = v
 		e.vcBusy[v] = true
 	}
 	if e.credits[e.injVC] == 0 || !e.injCh.CanSend() {
 		return
 	}
-	f := e.inFlight[0]
-	e.inFlight = e.inFlight[1:]
+	// Flits are materialized one per cycle as they enter the network —
+	// there is never a fully segmented copy of the packet waiting — from
+	// the arena when one is attached.
+	f := e.newFlit()
 	f.VC = e.injVC
 	e.credits[e.injVC]--
 	e.injCh.Send(f)
@@ -193,6 +230,23 @@ func (e *Endpoint) Inject(now int64) {
 		e.curPacket = nil
 		e.injVC = -1
 	}
+}
+
+// newFlit materializes the next flit of the packet under injection,
+// arena-backed when an arena is attached.
+func (e *Endpoint) newFlit() *flit.Flit {
+	var f *flit.Flit
+	if e.arena != nil {
+		f = e.arena.NewFlit()
+	} else {
+		f = &flit.Flit{}
+	}
+	f.Packet = e.curPacket
+	f.Seq = e.nextSeq
+	f.Head = e.nextSeq == 0
+	f.Tail = e.nextSeq == e.curPacket.Size-1
+	e.nextSeq++
+	return f
 }
 
 // pickVC selects a free local input VC for a new packet: unheld, with the

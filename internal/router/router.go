@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"nocsim/internal/alloc"
@@ -41,86 +42,76 @@ type DownstreamInfo interface {
 
 // input VC state machine states.
 const (
-	vcIdle    = iota // no packet at the head of the buffer
-	vcRouting        // head flit at front, awaiting an output VC
-	vcActive         // output VC granted; streaming flits
+	vcIdle    uint8 = iota // no packet at the head of the buffer
+	vcRouting              // head flit at front, awaiting an output VC
+	vcActive               // output VC granted; streaming flits
 )
-
-// inVC is one input virtual channel: a flit FIFO plus wormhole state.
-type inVC struct {
-	buf     []*flit.Flit
-	state   int
-	outDir  topo.Direction
-	outVC   int
-	blocked int64 // consecutive cycles the head flit failed allocation
-
-	// reqs is the packet's VC request set, computed once per router when
-	// the head flit reaches the front (BookSim-style sticky routing):
-	// the VC allocator retries this fixed set until a grant. This is
-	// what makes "waiting on footprint channels" effective — a packet
-	// that found its port saturated keeps requesting only its footprint
-	// VCs even as other VCs free up, and claims them on priority.
-	reqs   []routing.Request
-	routed bool
-}
-
-func (v *inVC) front() *flit.Flit {
-	if len(v.buf) == 0 {
-		return nil
-	}
-	return v.buf[0]
-}
-
-func (v *inVC) pop() *flit.Flit {
-	f := v.buf[0]
-	copy(v.buf, v.buf[1:])
-	v.buf = v.buf[:len(v.buf)-1]
-	return f
-}
-
-// outVC is the output-side state of one downstream virtual channel.
-type outVC struct {
-	allocated bool
-	credits   int
-	// owner is the destination of the packets currently occupying the
-	// VC's downstream buffer, cleared when the buffer drains: the live
-	// "footprint VC" state of Section 3.2.
-	owner int
-	// regOwner is the footprint register of Section 4.4: the
-	// destination of the last packet allocated to this VC. As a
-	// hardware register it persists across drains until overwritten, so
-	// a just-drained footprint VC can be re-granted to its own flow
-	// first — the "virtual set-aside queue" persistence of Section 3.3.
-	regOwner int
-	// awaitTailCredit blocks reallocation until the tail flit's credit
-	// returns (Duato-style conservative reallocation).
-	awaitTailCredit bool
-}
-
-// idle reports whether the VC is unoccupied: free for allocation with an
-// empty downstream buffer.
-func (ov *outVC) idle(bufDepth int) bool {
-	return !ov.allocated && !ov.awaitTailCredit && ov.credits == bufDepth
-}
-
-// outPort is one output port: its VC state, the output stage that absorbs
-// the internal speedup, and the attached channel.
-type outPort struct {
-	vcs   []outVC
-	stage []*flit.Flit
-	ch    *Channel
-}
 
 // stageCap bounds the output stage; with speedup s the stage can grow by
 // s-1 flits per cycle, so a small FIFO suffices.
 const stageCap = 4
 
-// Router is one mesh router.
+// Router is one mesh router. Its per-VC state is laid out as
+// struct-of-arrays indexed by idx = int(port)*VCs + vc (the same dense
+// index the VC allocator uses), so a cycle's scans walk contiguous
+// arrays instead of chasing per-port/per-VC pointers, and the input
+// buffers and output stages are fixed-capacity rings over single backing
+// arrays — the steady-state cycle loop allocates nothing.
 type Router struct {
-	cfg  Config
-	in   [][]inVC   // [port][vc]
-	out  []*outPort // [port]
-	inCh []*Channel // attached input channels, [port]
+	cfg Config
+	vcs int // cfg.VCs, hot-path copy
+
+	// Input VC state machine, SoA over idx.
+	inState   []uint8
+	inOutDir  []topo.Direction // granted output port (active state)
+	inOutVC   []int32          // granted output VC (active state)
+	inBlocked []int64          // consecutive failed-allocation cycles
+	inRouted  []bool
+	// inReqs is the packet's VC request set per input VC, computed at
+	// route time. The slices retain their capacity across packets, so
+	// re-evaluation does not allocate in steady state. This is what makes
+	// "waiting on footprint channels" effective under StickyRouting — a
+	// packet that found its port saturated keeps requesting only its
+	// footprint VCs even as other VCs free up, and claims them on
+	// priority.
+	inReqs [][]routing.Request
+
+	// Input buffers: per-VC rings of capacity BufDepth over one backing
+	// array; slot i of VC idx is bufStore[idx*BufDepth+(bufHead[idx]+i)%BufDepth].
+	bufStore []*flit.Flit
+	bufHead  []int32
+	bufLen   []int32
+
+	// Output VC state, SoA over idx: allocation, flow-control credits,
+	// the live footprint owner of Section 3.2 (destination of the packets
+	// in the downstream buffer, -1 when drained), the persistent
+	// footprint register of Section 4.4 (destination of the last packet
+	// allocated, surviving drains until overwritten), and the Duato-style
+	// conservative-reallocation latch awaiting the tail credit.
+	outAlloc     []bool
+	outCredits   []int32
+	outOwner     []int32
+	outRegOwner  []int32
+	outAwaitTail []bool
+
+	// Per-port aggregates of the output VC state, maintained on every
+	// transition so the routing helpers (routing.AggregateView) answer
+	// idle/footprint counts in O(1) instead of scanning every VC.
+	// idleMask bit v is set while VC v of the port is idle; fpCnt counts,
+	// per (port, destination), the VCs currently owned by that
+	// destination.
+	idleMask [topo.NumPorts]uint32
+	fpCnt    []int16
+	nodes    int // cfg.Mesh.Nodes(), fpCnt stride
+
+	// Output stages: per-port rings of capacity stageCap over one backing
+	// array, absorbing the internal speedup.
+	stageStore []*flit.Flit
+	stageHead  []int32
+	stageLen   []int32
+
+	inCh  []*Channel // attached input channels, [port]
+	outCh []*Channel // attached output channels, [port]
 
 	va     *alloc.VCAllocator
 	saIn   []*alloc.RoundRobin // per input port: VC chooser
@@ -129,14 +120,25 @@ type Router struct {
 	// reqPort maps requester index -> the output port its adaptive
 	// requests targeted this cycle, for blocking metrics.
 	reqPort []topo.Direction
-	granted []bool // requester index -> granted this cycle
 	saVec   []bool // scratch request vector for switch allocation
 
-	// routingCount/activeCount track how many input VCs of each port are
-	// in the routing/active state, so the per-cycle scans skip idle
-	// ports.
-	routingCount [topo.NumPorts]int
-	activeCount  [topo.NumPorts]int
+	// routeCtx is the reusable routing context: Route receives a pointer
+	// to it every call, so route computation never heap-allocates. Safe
+	// because Route is pure (the routepurity lint) and algorithms do not
+	// retain the context.
+	routeCtx routing.Context
+
+	// routingMask/activeMask track, per input port, which VCs are in the
+	// routing/active state, so the per-cycle scans iterate only occupied
+	// VCs (bit twiddling over the mask); the *Total sums plus the
+	// buffered-flit and staged-flit totals answer Quiescent for the
+	// network's active-router worklist.
+	routingMask  [topo.NumPorts]uint32
+	activeMask   [topo.NumPorts]uint32
+	routingTotal int
+	activeTotal  int
+	bufTotal     int
+	stageTotal   int
 
 	// outFlits counts flits sent per output port, for link-utilization
 	// analysis.
@@ -151,9 +153,10 @@ type Router struct {
 	// grant, summed over cycles.
 	vcAllocFails int64
 
-	// now is the router's cycle counter, advanced at the end of
-	// SwitchAndTraverse so it matches the network's clock during every
-	// phase. It stamps the events sent to the metrics sink.
+	// now is the router's cycle counter. Standalone routers advance it at
+	// the end of SwitchAndTraverse; inside a network the worklist may
+	// skip idle routers, so the network re-syncs it via SyncClock before
+	// each active cycle. It stamps the events sent to the metrics sink.
 	now int64
 	// wantEvents caches Metrics.WantPacketEvents() so the per-packet
 	// lifecycle callbacks cost one branch when no consumer wants them.
@@ -169,6 +172,9 @@ func New(cfg Config) *Router {
 	if cfg.VCs < 1 {
 		panic("router: need at least one VC")
 	}
+	if cfg.VCs > 32 {
+		panic("router: at most 32 VCs supported (per-port idle bitmask)")
+	}
 	if cfg.Alg.UsesEscape() && cfg.VCs < 2 {
 		panic("router: Duato-based routing needs at least two VCs")
 	}
@@ -179,30 +185,62 @@ func New(cfg Config) *Router {
 		panic("router: need speedup >= 1")
 	}
 	P := topo.NumPorts
+	n := P * cfg.VCs
 	r := &Router{
-		cfg:     cfg,
-		in:      make([][]inVC, P),
-		out:     make([]*outPort, P),
-		inCh:    make([]*Channel, P),
-		va:      alloc.NewVCAllocator(P*cfg.VCs, P*cfg.VCs),
+		cfg: cfg,
+		vcs: cfg.VCs,
+
+		inState:   make([]uint8, n),
+		inOutDir:  make([]topo.Direction, n),
+		inOutVC:   make([]int32, n),
+		inBlocked: make([]int64, n),
+		inRouted:  make([]bool, n),
+		inReqs:    make([][]routing.Request, n),
+
+		bufStore: make([]*flit.Flit, n*cfg.BufDepth),
+		bufHead:  make([]int32, n),
+		bufLen:   make([]int32, n),
+
+		outAlloc:     make([]bool, n),
+		outCredits:   make([]int32, n),
+		outOwner:     make([]int32, n),
+		outRegOwner:  make([]int32, n),
+		outAwaitTail: make([]bool, n),
+
+		stageStore: make([]*flit.Flit, P*stageCap),
+		stageHead:  make([]int32, P),
+		stageLen:   make([]int32, P),
+
+		inCh:  make([]*Channel, P),
+		outCh: make([]*Channel, P),
+
+		va:      alloc.NewVCAllocator(n, n),
 		saIn:    make([]*alloc.RoundRobin, P),
 		saOut:   make([]*alloc.RoundRobin, P),
-		reqPort: make([]topo.Direction, P*cfg.VCs),
-		granted: make([]bool, P*cfg.VCs),
+		reqPort: make([]topo.Direction, n),
 		saVec:   make([]bool, cfg.VCs),
 	}
+	for i := 0; i < n; i++ {
+		r.outCredits[i] = int32(cfg.BufDepth)
+		r.outOwner[i] = -1
+		r.outRegOwner[i] = -1
+	}
+	r.nodes = cfg.Mesh.Nodes()
+	r.fpCnt = make([]int16, P*r.nodes)
 	for p := 0; p < P; p++ {
-		r.in[p] = make([]inVC, cfg.VCs)
-		for v := range r.in[p] {
-			r.in[p][v].buf = make([]*flit.Flit, 0, cfg.BufDepth)
-		}
-		op := &outPort{vcs: make([]outVC, cfg.VCs)}
-		for v := range op.vcs {
-			op.vcs[v] = outVC{credits: cfg.BufDepth, owner: -1, regOwner: -1}
-		}
-		r.out[p] = op
 		r.saIn[p] = alloc.NewRoundRobin(cfg.VCs)
 		r.saOut[p] = alloc.NewRoundRobin(P)
+		r.idleMask[p] = uint32(1)<<uint(cfg.VCs) - 1 // all VCs start idle
+	}
+	// The routing context is built once and reused: Route receives a
+	// pointer to it every call (only Dest and InDir vary), so route
+	// computation never heap-allocates. Safe because Route is pure (the
+	// routepurity lint) and algorithms do not retain the context.
+	r.routeCtx = routing.Context{
+		Mesh: cfg.Mesh,
+		Cur:  cfg.NodeID,
+		View: r,
+		Rand: cfg.Rand,
 	}
 	if cfg.Metrics != nil {
 		r.wantEvents = cfg.Metrics.WantPacketEvents()
@@ -215,28 +253,148 @@ func New(cfg Config) *Router {
 func (r *Router) AttachIn(d topo.Direction, ch *Channel) { r.inCh[d] = ch }
 
 // AttachOut connects ch as the output channel leaving port d.
-func (r *Router) AttachOut(d topo.Direction, ch *Channel) { r.out[d].ch = ch }
+func (r *Router) AttachOut(d topo.Direction, ch *Channel) { r.outCh[d] = ch }
 
 // NodeID returns the router's node id.
 func (r *Router) NodeID() int { return r.cfg.NodeID }
 
+// SyncClock sets the router's cycle counter. The network calls it before
+// stepping an active router, so event timestamps stay correct even when
+// the worklist skipped the router for any number of idle cycles.
+func (r *Router) SyncClock(now int64) { r.now = now }
+
+// Quiescent reports that the router holds no work at a cycle boundary:
+// no input VC is routing or active, no flit is buffered, and no flit
+// waits in an output stage. A quiescent router's cycle is a no-op (all
+// remaining state transitions are driven by channel arrivals, which the
+// network watches separately), so the active-router worklist may skip it
+// without changing any simulated result.
+func (r *Router) Quiescent() bool {
+	return r.routingTotal == 0 && r.activeTotal == 0 && r.bufTotal == 0 && r.stageTotal == 0
+}
+
+// idx flattens (port, vc) into the dense SoA / VC-allocator index.
+func (r *Router) idx(d topo.Direction, vc int) int { return int(d)*r.vcs + vc }
+
+// outIdle reports whether output VC idx is unoccupied: free for
+// allocation with an empty downstream buffer.
+func (r *Router) outIdle(idx int) bool {
+	return !r.outAlloc[idx] && !r.outAwaitTail[idx] && int(r.outCredits[idx]) == r.cfg.BufDepth
+}
+
+// refreshIdleBit re-derives output VC idx's bit of the per-port idle
+// bitmask. Call after any mutation of outAlloc, outCredits or
+// outAwaitTail.
+func (r *Router) refreshIdleBit(idx int) {
+	p := idx / r.vcs
+	bit := uint32(1) << uint(idx%r.vcs)
+	if r.outIdle(idx) {
+		r.idleMask[p] |= bit
+	} else {
+		r.idleMask[p] &^= bit
+	}
+}
+
+// setOwner moves output VC idx's footprint owner to dest (-1 on drain),
+// keeping the per-(port, destination) owner counts in step.
+func (r *Router) setOwner(idx, dest int) {
+	old := int(r.outOwner[idx])
+	if old == dest {
+		return
+	}
+	p := idx / r.vcs
+	if old >= 0 {
+		r.fpCnt[p*r.nodes+old]--
+	}
+	if dest >= 0 {
+		r.fpCnt[p*r.nodes+dest]++
+	}
+	r.outOwner[idx] = int32(dest)
+}
+
+// --- input buffer rings ----------------------------------------------------
+
+// bufFront returns the front flit of input VC idx, or nil.
+func (r *Router) bufFront(idx int) *flit.Flit {
+	if r.bufLen[idx] == 0 {
+		return nil
+	}
+	return r.bufStore[idx*r.cfg.BufDepth+int(r.bufHead[idx])]
+}
+
+// bufAt returns the i-th buffered flit of input VC idx (0 = front).
+func (r *Router) bufAt(idx, i int) *flit.Flit {
+	depth := r.cfg.BufDepth
+	return r.bufStore[idx*depth+(int(r.bufHead[idx])+i)%depth]
+}
+
+// bufPush appends f to input VC idx, panicking on overflow (credits
+// guarantee space).
+func (r *Router) bufPush(idx int, f *flit.Flit) {
+	depth := r.cfg.BufDepth
+	if int(r.bufLen[idx]) >= depth {
+		panic(fmt.Sprintf("router %d: input buffer overflow port %v vc %d",
+			r.cfg.NodeID, topo.Direction(idx/r.vcs), idx%r.vcs))
+	}
+	pos := (int(r.bufHead[idx]) + int(r.bufLen[idx])) % depth
+	r.bufStore[idx*depth+pos] = f
+	r.bufLen[idx]++
+	r.bufTotal++
+}
+
+// bufPop removes and returns the front flit of input VC idx.
+func (r *Router) bufPop(idx int) *flit.Flit {
+	depth := r.cfg.BufDepth
+	pos := idx*depth + int(r.bufHead[idx])
+	f := r.bufStore[pos]
+	r.bufStore[pos] = nil
+	r.bufHead[idx] = int32((int(r.bufHead[idx]) + 1) % depth)
+	r.bufLen[idx]--
+	r.bufTotal--
+	return f
+}
+
+// --- output stage rings ----------------------------------------------------
+
+// stagePush appends f to output port o's stage.
+func (r *Router) stagePush(o int, f *flit.Flit) {
+	if int(r.stageLen[o]) >= stageCap {
+		panic(fmt.Sprintf("router %d: output stage overflow port %v", r.cfg.NodeID, topo.Direction(o)))
+	}
+	pos := (int(r.stageHead[o]) + int(r.stageLen[o])) % stageCap
+	r.stageStore[o*stageCap+pos] = f
+	r.stageLen[o]++
+	r.stageTotal++
+}
+
+// stagePop removes and returns the front flit of output port o's stage.
+func (r *Router) stagePop(o int) *flit.Flit {
+	pos := o*stageCap + int(r.stageHead[o])
+	f := r.stageStore[pos]
+	r.stageStore[pos] = nil
+	r.stageHead[o] = int32((int(r.stageHead[o]) + 1) % stageCap)
+	r.stageLen[o]--
+	r.stageTotal--
+	return f
+}
+
 // --- routing.View ---------------------------------------------------------
 
 // VCs implements routing.View.
-func (r *Router) VCs() int { return r.cfg.VCs }
+func (r *Router) VCs() int { return r.vcs }
 
 // VCIdle implements routing.View: a VC is idle when its downstream buffer
 // is fully drained and no packet holds it. The footprint owner register
 // is independent state and may still name a destination.
 func (r *Router) VCIdle(d topo.Direction, v int) bool {
-	return r.out[d].vcs[v].idle(r.cfg.BufDepth)
+	return r.outIdle(r.idx(d, v))
 }
 
 // VCOwner implements routing.View.
-func (r *Router) VCOwner(d topo.Direction, v int) int { return r.out[d].vcs[v].owner }
+func (r *Router) VCOwner(d topo.Direction, v int) int { return int(r.outOwner[r.idx(d, v)]) }
 
 // VCRegOwner implements routing.View: the persistent footprint register.
-func (r *Router) VCRegOwner(d topo.Direction, v int) int { return r.out[d].vcs[v].regOwner }
+func (r *Router) VCRegOwner(d topo.Direction, v int) int { return int(r.outRegOwner[r.idx(d, v)]) }
 
 // DownstreamIdle implements routing.View by delegating to the network.
 func (r *Router) DownstreamIdle(d topo.Direction, dest int) int {
@@ -244,6 +402,60 @@ func (r *Router) DownstreamIdle(d topo.Direction, dest int) int {
 		return 0
 	}
 	return r.cfg.Downstream.DownstreamIdle(r.cfg.NodeID, d, dest)
+}
+
+// IdleCount implements routing.AggregateView: the number of idle VCs of
+// port d in [lo, VCs), read off the maintained idle bitmask.
+func (r *Router) IdleCount(d topo.Direction, lo int) int {
+	return bits.OnesCount32(r.idleMask[d] >> uint(lo))
+}
+
+// IdleBits implements routing.BitsView: the maintained idle bitmask of
+// port d.
+func (r *Router) IdleBits(d topo.Direction) uint32 { return r.idleMask[d] }
+
+// OwnerBits implements routing.BitsView: the VCs of port d owned by dest,
+// built from the owner array without per-VC interface dispatch.
+func (r *Router) OwnerBits(d topo.Direction, dest int) uint32 {
+	base := int(d) * r.vcs
+	var m uint32
+	for v := 0; v < r.vcs; v++ {
+		if int(r.outOwner[base+v]) == dest {
+			m |= uint32(1) << uint(v)
+		}
+	}
+	return m
+}
+
+// RegOwnerBits implements routing.BitsView: the VCs of port d whose
+// persistent footprint register names dest.
+func (r *Router) RegOwnerBits(d topo.Direction, dest int) uint32 {
+	base := int(d) * r.vcs
+	var m uint32
+	for v := 0; v < r.vcs; v++ {
+		if int(r.outRegOwner[base+v]) == dest {
+			m |= uint32(1) << uint(v)
+		}
+	}
+	return m
+}
+
+// FootprintCount implements routing.AggregateView: the number of VCs of
+// port d in [lo, VCs) currently owned by dest, read off the maintained
+// owner counts (the escape VCs below lo are deducted by inspection; lo
+// is 0 or 1 in practice).
+func (r *Router) FootprintCount(d topo.Direction, dest, lo int) int {
+	if dest < 0 {
+		return 0
+	}
+	n := int(r.fpCnt[int(d)*r.nodes+dest])
+	base := int(d) * r.vcs
+	for v := 0; v < lo; v++ {
+		if int(r.outOwner[base+v]) == dest {
+			n--
+		}
+	}
+	return n
 }
 
 // IdleAdaptiveToward returns the number of idle adaptive VCs over the
@@ -255,25 +467,16 @@ func (r *Router) IdleAdaptiveToward(dest int) int {
 	if r.cfg.Alg.UsesEscape() {
 		lo = 1
 	}
-	count := func(d topo.Direction) int {
-		n := 0
-		for v := lo; v < r.cfg.VCs; v++ {
-			if r.out[d].vcs[v].idle(r.cfg.BufDepth) {
-				n++
-			}
-		}
-		return n
-	}
 	if dest == r.cfg.NodeID {
-		return count(topo.Local)
+		return r.IdleCount(topo.Local, lo)
 	}
 	dx, hasX, dy, hasY := r.cfg.Mesh.MinimalDirs(r.cfg.NodeID, dest)
 	n := 0
 	if hasX {
-		n += count(dx)
+		n += r.IdleCount(dx, lo)
 	}
 	if hasY {
-		n += count(dy)
+		n += r.IdleCount(dy, lo)
 	}
 	return n
 }
@@ -281,56 +484,50 @@ func (r *Router) IdleAdaptiveToward(dest int) int {
 // --- per-cycle phases ------------------------------------------------------
 
 // Receive ingests flits and credits that arrived on the attached channels.
-// Phase A; the network runs it for every router before any other phase.
+// Phase A; the network runs it for every active router before any other
+// phase.
 func (r *Router) Receive() {
 	for p := 0; p < topo.NumPorts; p++ {
 		ch := r.inCh[p]
 		if ch != nil {
 			if f := ch.Recv(); f != nil {
-				iv := &r.in[p][f.VC]
-				if len(iv.buf) >= r.cfg.BufDepth {
-					panic(fmt.Sprintf("router %d: input buffer overflow port %v vc %d",
-						r.cfg.NodeID, topo.Direction(p), f.VC))
-				}
-				iv.buf = append(iv.buf, f)
+				i := r.idx(topo.Direction(p), f.VC)
+				r.bufPush(i, f)
 				if f.Head {
 					f.Packet.Hops++
 				}
+				// Promote an idle input VC straight to routing: a VC is
+				// idle only while its buffer is empty, so this flit is the
+				// front and must be a head.
+				if r.inState[i] == vcIdle {
+					if !f.Head {
+						panic("router: non-head flit at front of idle VC")
+					}
+					r.inState[i] = vcRouting
+					r.inRouted[i] = false
+					r.inBlocked[i] = 0
+					r.routingMask[p] |= uint32(1) << uint(f.VC)
+					r.routingTotal++
+				}
 			}
 		}
-		if och := r.out[p].ch; och != nil {
+		if och := r.outCh[p]; och != nil {
 			for _, cr := range och.RecvCredits() {
-				ov := &r.out[p].vcs[cr.VC]
-				ov.credits++
-				if ov.credits > r.cfg.BufDepth {
+				i := r.idx(topo.Direction(p), cr.VC)
+				r.outCredits[i]++
+				if int(r.outCredits[i]) > r.cfg.BufDepth {
 					panic(fmt.Sprintf("router %d: credit overflow port %v vc %d",
 						r.cfg.NodeID, topo.Direction(p), cr.VC))
 				}
 				if cr.Tail {
-					ov.awaitTailCredit = false
+					r.outAwaitTail[i] = false
 				}
-				if ov.idle(r.cfg.BufDepth) {
+				r.refreshIdleBit(i)
+				if r.outIdle(i) {
 					// The footprint register clears once the VC fully
 					// drains: a footprint VC is one currently occupied
 					// by packets to its owner destination.
-					ov.owner = -1
-				}
-			}
-		}
-	}
-	// Promote idle input VCs with a buffered head flit to routing state.
-	for p := range r.in {
-		for v := range r.in[p] {
-			iv := &r.in[p][v]
-			if iv.state == vcIdle {
-				if f := iv.front(); f != nil {
-					if !f.Head {
-						panic("router: non-head flit at front of idle VC")
-					}
-					iv.state = vcRouting
-					iv.routed = false
-					iv.blocked = 0
-					r.routingCount[p]++
+					r.setOwner(i, -1)
 				}
 			}
 		}
@@ -338,29 +535,23 @@ func (r *Router) Receive() {
 }
 
 // resIndex flattens (port, vc) into a VC-allocator resource index.
-func (r *Router) resIndex(d topo.Direction, vc int) int { return int(d)*r.cfg.VCs + vc }
+func (r *Router) resIndex(d topo.Direction, vc int) int { return int(d)*r.vcs + vc }
 
 // AllocateVCs runs route computation and VC allocation for every input VC
 // in routing state. Phase B+C.
 func (r *Router) AllocateVCs() {
-	r.vaReqs = r.vaReqs[:0]
-	for i := range r.granted {
-		r.granted[i] = false
+	if r.routingTotal == 0 {
+		return
 	}
-	anyRouting := false
+	r.vaReqs = r.vaReqs[:0]
 	for p := 0; p < topo.NumPorts; p++ {
-		if r.routingCount[p] == 0 {
-			continue
-		}
-		for v := 0; v < r.cfg.VCs; v++ {
-			iv := &r.in[p][v]
-			if iv.state != vcRouting {
-				continue
-			}
-			anyRouting = true
-			f := iv.front()
-			requester := r.resIndex(topo.Direction(p), v)
-			if !iv.routed || !r.cfg.StickyRouting {
+		// Iterate only the VCs in routing state, lowest first (the same
+		// order the dense scan visited them in).
+		for m := r.routingMask[p]; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros32(m)
+			requester := r.idx(topo.Direction(p), v)
+			f := r.bufFront(requester)
+			if !r.inRouted[requester] || !r.cfg.StickyRouting {
 				// By default the route (and its VC request set) is
 				// re-evaluated every cycle while the packet waits, so
 				// adaptive decisions track the live congestion state.
@@ -368,99 +559,90 @@ func (r *Router) AllocateVCs() {
 				// packet per router and retried until granted; see
 				// DESIGN.md for why the default reproduces the paper's
 				// results and stickiness does not.
-				if r.wantEvents && !iv.routed {
+				if r.wantEvents && !r.inRouted[requester] {
 					r.cfg.Metrics.OnRoute(r.now, r.cfg.NodeID, f.Packet, topo.Direction(p))
 				}
-				iv.reqs = iv.reqs[:0]
+				reqs := r.inReqs[requester][:0]
 				if f.Packet.Dest == r.cfg.NodeID {
 					// Ejection: request every local-port VC obliviously.
-					for ev := 0; ev < r.cfg.VCs; ev++ {
-						iv.reqs = append(iv.reqs, routing.Request{Dir: topo.Local, VC: ev, Pri: alloc.Low})
+					for ev := 0; ev < r.vcs; ev++ {
+						reqs = append(reqs, routing.Request{Dir: topo.Local, VC: ev, Pri: alloc.Low})
 					}
 					r.reqPort[requester] = topo.Local
 				} else {
-					ctx := routing.Context{
-						Mesh:  r.cfg.Mesh,
-						Cur:   r.cfg.NodeID,
-						Dest:  f.Packet.Dest,
-						InDir: topo.Direction(p),
-						View:  r,
-						Rand:  r.cfg.Rand,
-					}
-					iv.reqs = r.cfg.Alg.Route(&ctx, iv.reqs)
-					if len(iv.reqs) > 0 {
+					// Only Dest and InDir vary per call; the rest of the
+					// context was bound at construction.
+					r.routeCtx.Dest = f.Packet.Dest
+					r.routeCtx.InDir = topo.Direction(p)
+					reqs = r.cfg.Alg.Route(&r.routeCtx, reqs)
+					if len(reqs) > 0 {
 						// The first request's port is the adaptive choice
 						// (escape request is appended last by convention).
-						r.reqPort[requester] = iv.reqs[0].Dir
+						r.reqPort[requester] = reqs[0].Dir
 					}
-					if r.wantDecisions && !iv.routed {
-						r.emitDecision(topo.Direction(p), f.Packet.Dest, iv.reqs, f.Packet)
+					if r.wantDecisions && !r.inRouted[requester] {
+						r.emitDecision(topo.Direction(p), f.Packet.Dest, reqs, f.Packet)
 					}
 				}
-				iv.routed = true
+				r.inReqs[requester] = reqs
+				r.inRouted[requester] = true
 			}
-			for _, rq := range iv.reqs {
-				ov := &r.out[rq.Dir].vcs[rq.VC]
-				if ov.allocated || ov.awaitTailCredit {
+			for _, rq := range r.inReqs[requester] {
+				res := r.resIndex(rq.Dir, rq.VC)
+				if r.outAlloc[res] || r.outAwaitTail[res] {
 					continue // not allocatable this cycle
 				}
 				r.vaReqs = append(r.vaReqs, alloc.VCRequest{
 					Requester: requester,
-					Resource:  r.resIndex(rq.Dir, rq.VC),
+					Resource:  res,
 					Pri:       rq.Pri,
 				})
 			}
 		}
 	}
-	if !anyRouting {
-		return
-	}
 
 	grants := r.va.Allocate(r.vaReqs)
 	for _, g := range grants {
-		r.granted[g.Requester] = true
-		p := topo.Direction(g.Requester / r.cfg.VCs)
-		v := g.Requester % r.cfg.VCs
-		od := topo.Direction(g.Resource / r.cfg.VCs)
-		ovc := g.Resource % r.cfg.VCs
-		iv := &r.in[p][v]
-		iv.state = vcActive
-		iv.outDir = od
-		iv.outVC = ovc
-		r.routingCount[p]--
-		r.activeCount[p]++
-		ov := &r.out[od].vcs[ovc]
+		od := topo.Direction(g.Resource / r.vcs)
+		ovc := g.Resource % r.vcs
+		r.inState[g.Requester] = vcActive
+		r.inOutDir[g.Requester] = od
+		r.inOutVC[g.Requester] = int32(ovc)
+		inBit := uint32(1) << uint(g.Requester%r.vcs)
+		r.routingMask[g.Requester/r.vcs] &^= inBit
+		r.routingTotal--
+		r.activeMask[g.Requester/r.vcs] |= inBit
+		r.activeTotal++
+		dest := r.bufFront(g.Requester).Packet.Dest
 		var class VCClass
 		if r.wantEvents {
 			// Classify against the pre-grant state: the assignments below
 			// mark the VC allocated/owned, which would read as busy.
-			class = r.classifyVC(od, ovc, iv.front().Packet.Dest)
+			class = r.classifyVC(od, ovc, dest)
 		}
-		ov.allocated = true
-		ov.owner = iv.front().Packet.Dest
-		ov.regOwner = ov.owner
+		r.outAlloc[g.Resource] = true
+		r.refreshIdleBit(g.Resource)
+		r.setOwner(g.Resource, dest)
+		r.outRegOwner[g.Resource] = int32(dest)
 		if r.wantEvents {
-			r.cfg.Metrics.OnVCAllocGrant(r.now, r.cfg.NodeID, iv.front().Packet, od, ovc, class, iv.blocked)
+			r.cfg.Metrics.OnVCAllocGrant(r.now, r.cfg.NodeID, r.bufFront(g.Requester).Packet,
+				od, ovc, class, r.inBlocked[g.Requester])
 		}
 	}
 
-	// Blocking bookkeeping: every head packet that tried and failed.
+	// Blocking bookkeeping: every head packet that tried and failed. The
+	// grant loop above removed granted VCs from the routing masks, so the
+	// remaining bits are exactly the failures.
 	for p := 0; p < topo.NumPorts; p++ {
-		if r.routingCount[p] == 0 {
-			continue
-		}
-		for v := 0; v < r.cfg.VCs; v++ {
-			requester := r.resIndex(topo.Direction(p), v)
-			iv := &r.in[p][v]
-			if iv.state != vcRouting || r.granted[requester] {
-				continue
-			}
-			iv.blocked++
+		for m := r.routingMask[p]; m != 0; m &= m - 1 {
+			requester := r.idx(topo.Direction(p), bits.TrailingZeros32(m))
+			r.inBlocked[requester]++
 			r.vcAllocFails++
 			if r.cfg.Metrics != nil {
 				out := r.reqPort[requester]
-				fp, busy := r.portOccupancy(out, iv.front().Packet.Dest)
-				r.cfg.Metrics.OnVCAllocFailure(r.now, r.cfg.NodeID, iv.front().Packet, out, fp, busy, iv.blocked)
+				fp, busy := r.portOccupancy(out, r.bufFront(requester).Packet.Dest)
+				r.cfg.Metrics.OnVCAllocFailure(r.now, r.cfg.NodeID, r.bufFront(requester).Packet,
+					out, fp, busy, r.inBlocked[requester])
 			}
 		}
 	}
@@ -473,16 +655,10 @@ func (r *Router) portOccupancy(d topo.Direction, dest int) (fp, busy int) {
 	if r.cfg.Alg.UsesEscape() {
 		lo = 1
 	}
-	for v := lo; v < r.cfg.VCs; v++ {
-		ov := &r.out[d].vcs[v]
-		if ov.idle(r.cfg.BufDepth) {
-			continue
-		}
-		busy++
-		if ov.owner == dest {
-			fp++
-		}
-	}
+	// An owned VC is never idle, so the footprint VCs are a subset of the
+	// busy ones and both counts come from the aggregates.
+	busy = (r.vcs - lo) - r.IdleCount(d, lo)
+	fp = r.FootprintCount(d, dest, lo)
 	return fp, busy
 }
 
@@ -491,57 +667,84 @@ func (r *Router) portOccupancy(d topo.Direction, dest int) (fp, busy int) {
 // channel. Phase D+E.
 func (r *Router) SwitchAndTraverse() {
 	P := topo.NumPorts
-	for iter := 0; iter < r.cfg.Speedup; iter++ {
-		// Input stage: each input port nominates one ready VC.
-		type nominee struct {
-			vc int
-			ok bool
-		}
-		var noms [topo.NumPorts]nominee
-		var outReq [topo.NumPorts][topo.NumPorts]bool // [out][in]
-		for p := 0; p < P; p++ {
-			if r.activeCount[p] == 0 {
-				continue
+	if r.activeTotal > 0 || r.stageTotal > 0 {
+		for iter := 0; iter < r.cfg.Speedup; iter++ {
+			// Input stage: each input port nominates one ready VC.
+			type nominee struct {
+				vc int
+				ok bool
 			}
-			for v := range r.saVec {
-				ready := r.vcReady(p, v)
-				r.saVec[v] = ready
-				if !ready && iter == 0 {
-					// Diagnose the stall once per cycle: an active VC
-					// with buffered flits whose output VC is out of
-					// credits is backpressure from downstream.
-					iv := &r.in[p][v]
-					if iv.state == vcActive && len(iv.buf) > 0 &&
-						r.out[iv.outDir].vcs[iv.outVC].credits == 0 {
-						r.creditStalls[iv.outDir]++
+			var noms [topo.NumPorts]nominee
+			var outReq [topo.NumPorts][topo.NumPorts]bool // [out][in]
+			var outAny [topo.NumPorts]bool
+			nominated := false
+			for p := 0; p < P; p++ {
+				if r.activeMask[p] == 0 {
+					continue
+				}
+				for v := range r.saVec {
+					r.saVec[v] = false
+				}
+				anyReady := false
+				for m := r.activeMask[p]; m != 0; m &= m - 1 {
+					v := bits.TrailingZeros32(m)
+					ready := r.vcReady(p, v)
+					r.saVec[v] = ready
+					if ready {
+						anyReady = true
+					} else if iter == 0 {
+						// Diagnose the stall once per cycle: an active VC
+						// with buffered flits whose output VC is out of
+						// credits is backpressure from downstream.
+						i := r.idx(topo.Direction(p), v)
+						if r.bufLen[i] > 0 &&
+							r.outCredits[r.resIndex(r.inOutDir[i], int(r.inOutVC[i]))] == 0 {
+							r.creditStalls[r.inOutDir[i]]++
+						}
 					}
 				}
+				if !anyReady {
+					continue // arbitrating an all-false vector is a no-op
+				}
+				if v := r.saIn[p].Arbitrate(r.saVec); v >= 0 {
+					noms[p] = nominee{vc: v, ok: true}
+					od := r.inOutDir[r.idx(topo.Direction(p), v)]
+					outReq[od][p] = true
+					outAny[od] = true
+					nominated = true
+				}
 			}
-			if v := r.saIn[p].Arbitrate(r.saVec); v >= 0 {
-				noms[p] = nominee{vc: v, ok: true}
-				outReq[r.in[p][v].outDir][p] = true
+			// Output stage: each output port grants one input port.
+			// Arbitrating an empty vector is a no-op that leaves the
+			// round-robin pointer alone, so unrequested ports are skipped.
+			for o := 0; o < P; o++ {
+				if !outAny[o] {
+					continue
+				}
+				in := r.saOut[o].Arbitrate(outReq[o][:])
+				if in < 0 {
+					continue
+				}
+				r.traverse(in, noms[in].vc)
+			}
+			if !nominated {
+				// Nothing was ready and nothing moved, so every remaining
+				// speedup iteration would be an identical no-op.
+				break
 			}
 		}
-		// Output stage: each output port grants one input port.
+		// Link traversal: one flit per output channel per cycle.
 		for o := 0; o < P; o++ {
-			in := r.saOut[o].Arbitrate(outReq[o][:])
-			if in < 0 {
+			if r.stageLen[o] == 0 {
 				continue
 			}
-			r.traverse(in, noms[in].vc)
+			ch := r.outCh[o]
+			if ch == nil || !ch.CanSend() {
+				continue
+			}
+			ch.Send(r.stagePop(o))
+			r.outFlits[o]++
 		}
-	}
-	// Link traversal: one flit per output channel per cycle.
-	for o := 0; o < P; o++ {
-		op := r.out[o]
-		if len(op.stage) == 0 || op.ch == nil || !op.ch.CanSend() {
-			continue
-		}
-		f := op.stage[0]
-		copy(op.stage, op.stage[1:])
-		op.stage = op.stage[:len(op.stage)-1]
-		op.ch.Send(f)
-		r.outFlits[o]++
 	}
 	r.now++
 }
@@ -567,34 +770,38 @@ func (r *Router) VCAllocFailures() int64 { return r.vcAllocFails }
 // input port d.
 func (r *Router) InputBufferOccupancy(d topo.Direction) int {
 	n := 0
-	for v := range r.in[d] {
-		n += len(r.in[d][v].buf)
+	base := int(d) * r.vcs
+	for v := 0; v < r.vcs; v++ {
+		n += int(r.bufLen[base+v])
 	}
 	return n
 }
 
 // vcReady reports whether input VC (p, v) can traverse the switch now.
 func (r *Router) vcReady(p, v int) bool {
-	iv := &r.in[p][v]
-	if iv.state != vcActive || len(iv.buf) == 0 {
+	i := r.idx(topo.Direction(p), v)
+	if r.inState[i] != vcActive || r.bufLen[i] == 0 {
 		return false
 	}
-	op := r.out[iv.outDir]
-	return op.vcs[iv.outVC].credits > 0 && len(op.stage) < stageCap
+	return r.outCredits[r.resIndex(r.inOutDir[i], int(r.inOutVC[i]))] > 0 &&
+		int(r.stageLen[r.inOutDir[i]]) < stageCap
 }
 
 // traverse moves the front flit of input VC (p, v) into its output stage,
 // returning a credit upstream and managing wormhole state.
 func (r *Router) traverse(p, v int) {
-	iv := &r.in[p][v]
-	f := iv.pop()
-	ov := &r.out[iv.outDir].vcs[iv.outVC]
-	f.VC = iv.outVC
-	ov.credits--
-	r.out[iv.outDir].stage = append(r.out[iv.outDir].stage, f)
-	r.xbarGrants[iv.outDir]++
+	i := r.idx(topo.Direction(p), v)
+	f := r.bufPop(i)
+	od := r.inOutDir[i]
+	ovc := int(r.inOutVC[i])
+	res := r.resIndex(od, ovc)
+	f.VC = ovc
+	r.outCredits[res]--
+	r.refreshIdleBit(res)
+	r.stagePush(int(od), f)
+	r.xbarGrants[od]++
 	if r.wantEvents && f.Head {
-		r.cfg.Metrics.OnHeadTraverse(r.now, r.cfg.NodeID, f.Packet, iv.outDir, iv.outVC)
+		r.cfg.Metrics.OnHeadTraverse(r.now, r.cfg.NodeID, f.Packet, od, ovc)
 	}
 
 	// Return a credit for the freed input buffer slot.
@@ -603,21 +810,25 @@ func (r *Router) traverse(p, v int) {
 	}
 
 	if f.Tail {
-		ov.allocated = false
+		r.outAlloc[res] = false
 		if r.cfg.Alg.ConservativeRealloc() {
-			ov.awaitTailCredit = true
+			r.outAwaitTail[res] = true
 		}
+		r.refreshIdleBit(res)
 		// Next packet (if already buffered) starts routing next cycle.
-		r.activeCount[p]--
-		iv.state = vcIdle
-		if nf := iv.front(); nf != nil {
+		inBit := uint32(1) << uint(v)
+		r.activeMask[p] &^= inBit
+		r.activeTotal--
+		r.inState[i] = vcIdle
+		if nf := r.bufFront(i); nf != nil {
 			if !nf.Head {
 				panic("router: flit interleaving detected")
 			}
-			iv.state = vcRouting
-			iv.routed = false
-			iv.blocked = 0
-			r.routingCount[p]++
+			r.inState[i] = vcRouting
+			r.inRouted[i] = false
+			r.inBlocked[i] = 0
+			r.routingMask[p] |= inBit
+			r.routingTotal++
 		}
 	}
 }
@@ -625,23 +836,23 @@ func (r *Router) traverse(p, v int) {
 // InputBufferUse returns the number of buffered flits at input port d,
 // VC v; the congestion-tree analyzer reads it.
 func (r *Router) InputBufferUse(d topo.Direction, v int) int {
-	return len(r.in[d][v].buf)
+	return int(r.bufLen[r.idx(d, v)])
 }
 
 // InputVCBlocked returns how many consecutive cycles the head packet of
 // input VC (d, v) has failed VC allocation; 0 when not blocked.
 func (r *Router) InputVCBlocked(d topo.Direction, v int) int64 {
-	iv := &r.in[d][v]
-	if iv.state != vcRouting {
+	i := r.idx(d, v)
+	if r.inState[i] != vcRouting {
 		return 0
 	}
-	return iv.blocked
+	return r.inBlocked[i]
 }
 
 // InputVCDest returns the destination of the packet at the front of input
 // VC (d, v), or -1 when empty.
 func (r *Router) InputVCDest(d topo.Direction, v int) int {
-	f := r.in[d][v].front()
+	f := r.bufFront(r.idx(d, v))
 	if f == nil {
 		return -1
 	}
@@ -654,13 +865,14 @@ func (r *Router) InputVCDest(d topo.Direction, v int) int {
 // chain); an impure VC is head-of-line blocking unrelated packets. The
 // paper's Figure 10(b) "purity of blocking" aggregates this.
 func (r *Router) InputVCPurity(d topo.Direction, v int) (occupied, pure bool) {
-	buf := r.in[d][v].buf
-	if len(buf) == 0 {
+	i := r.idx(d, v)
+	n := int(r.bufLen[i])
+	if n == 0 {
 		return false, false
 	}
-	dest := buf[0].Packet.Dest
-	for _, f := range buf[1:] {
-		if f.Packet.Dest != dest {
+	dest := r.bufFront(i).Packet.Dest
+	for j := 1; j < n; j++ {
+		if r.bufAt(i, j).Packet.Dest != dest {
 			return true, false
 		}
 	}
@@ -670,10 +882,10 @@ func (r *Router) InputVCPurity(d topo.Direction, v int) (occupied, pure bool) {
 // OutVCAllocated reports whether output VC (d, v) is currently held by a
 // packet.
 func (r *Router) OutVCAllocated(d topo.Direction, v int) bool {
-	return r.out[d].vcs[v].allocated
+	return r.outAlloc[r.idx(d, v)]
 }
 
 // OutVCCredits returns the available credits of output VC (d, v).
 func (r *Router) OutVCCredits(d topo.Direction, v int) int {
-	return r.out[d].vcs[v].credits
+	return int(r.outCredits[r.idx(d, v)])
 }

@@ -38,27 +38,27 @@ type InVCState struct {
 
 // InputVCSnapshot exports the live state of input VC (d, v).
 func (r *Router) InputVCSnapshot(d topo.Direction, v int) InVCState {
-	iv := &r.in[d][v]
+	i := r.idx(d, v)
 	st := InVCState{
-		Buffered:   len(iv.buf),
+		Buffered:   int(r.bufLen[i]),
 		PacketDest: -1,
 	}
-	switch iv.state {
+	switch r.inState[i] {
 	case vcIdle:
 		st.State = VCStateIdle
 	case vcRouting:
 		st.State = VCStateRouting
-		st.Blocked = iv.blocked
-		st.Routed = iv.routed
-		if iv.routed {
-			st.ReqDir = r.reqPort[r.resIndex(d, v)]
+		st.Blocked = r.inBlocked[i]
+		st.Routed = r.inRouted[i]
+		if r.inRouted[i] {
+			st.ReqDir = r.reqPort[i]
 		}
 	case vcActive:
 		st.State = VCStateActive
-		st.OutDir = iv.outDir
-		st.OutVC = iv.outVC
+		st.OutDir = r.inOutDir[i]
+		st.OutVC = int(r.inOutVC[i])
 	}
-	if f := iv.front(); f != nil {
+	if f := r.bufFront(i); f != nil {
 		st.PacketID = f.Packet.ID
 		st.PacketDest = f.Packet.Dest
 	}
@@ -82,13 +82,13 @@ type OutVCState struct {
 
 // OutputVCSnapshot exports the live state of output VC (d, v).
 func (r *Router) OutputVCSnapshot(d topo.Direction, v int) OutVCState {
-	ov := &r.out[d].vcs[v]
+	i := r.idx(d, v)
 	return OutVCState{
-		Allocated:       ov.allocated,
-		Credits:         ov.credits,
-		Owner:           ov.owner,
-		RegOwner:        ov.regOwner,
-		AwaitTailCredit: ov.awaitTailCredit,
+		Allocated:       r.outAlloc[i],
+		Credits:         int(r.outCredits[i]),
+		Owner:           int(r.outOwner[i]),
+		RegOwner:        int(r.outRegOwner[i]),
+		AwaitTailCredit: r.outAwaitTail[i],
 	}
 }
 

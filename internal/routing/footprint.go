@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"math/bits"
+
 	"nocsim/internal/alloc"
 	"nocsim/internal/topo"
 )
@@ -107,15 +109,17 @@ func (f *Footprint) Route(ctx *Context, reqs []Request) []Request {
 	idle := countIdle(v, d, 1)
 	fp := countFootprint(v, d, ctx.Dest, 1)
 
+	// Views exposing per-port bitmasks (the router's SoA state does) let
+	// the per-VC classification below read three masks instead of making
+	// three interface calls per VC; the scalar fallback is identical and
+	// the property tests cross-check the two paths.
+	bv, fast := v.(BitsView)
+
 	// Future-work extension: once the destination owns MaxFootprintVCs
 	// VCs of the port, confine its packets to them regardless of load,
 	// giving the stronger isolation of Section 4.2.5.
 	if f.MaxFootprintVCs > 0 && fp >= f.MaxFootprintVCs {
-		for vc := 1; vc < nVCs; vc++ {
-			if v.VCOwner(d, vc) == ctx.Dest {
-				reqs = append(reqs, Request{Dir: d, VC: vc, Pri: f.pri(alloc.High)})
-			}
-		}
+		reqs = f.appendFootprintVCs(reqs, v, bv, fast, d, ctx.Dest, nVCs)
 		reqs = append(reqs, Request{Dir: esc, VC: 0, Pri: alloc.Lowest})
 		return reqs
 	}
@@ -130,11 +134,7 @@ func (f *Footprint) Route(ctx *Context, reqs []Request) []Request {
 	case idle == 0:
 		if fp != 0 && !f.DisableRegulation {
 			// Saturated port: wait on the footprint channels only.
-			for vc := 1; vc < nVCs; vc++ {
-				if v.VCOwner(d, vc) == ctx.Dest {
-					reqs = append(reqs, Request{Dir: d, VC: vc, Pri: f.pri(alloc.High)})
-				}
-			}
+			reqs = f.appendFootprintVCs(reqs, v, bv, fast, d, ctx.Dest, nVCs)
 		} else {
 			// No footprint to follow: request all adaptive VCs.
 			for vc := 1; vc < nVCs; vc++ {
@@ -153,16 +153,30 @@ func (f *Footprint) Route(ctx *Context, reqs []Request) []Request {
 		// congested flows keep their channels, other flows get the idle
 		// capacity.
 		hasFP := fp > 0
+		var idleM, regM, ownM uint32
+		if fast {
+			idleM = bv.IdleBits(d)
+			regM = bv.RegOwnerBits(d, ctx.Dest)
+			ownM = bv.OwnerBits(d, ctx.Dest)
+		}
 		for vc := 1; vc < nVCs; vc++ {
-			idleVC := v.VCIdle(d, vc)
+			var idleVC, regOwn, own bool
+			if fast {
+				bit := uint32(1) << uint(vc)
+				idleVC, regOwn, own = idleM&bit != 0, regM&bit != 0, ownM&bit != 0
+			} else {
+				idleVC = v.VCIdle(d, vc)
+				regOwn = v.VCRegOwner(d, vc) == ctx.Dest
+				own = v.VCOwner(d, vc) == ctx.Dest
+			}
 			switch {
-			case idleVC && v.VCRegOwner(d, vc) == ctx.Dest:
+			case idleVC && regOwn:
 				reqs = append(reqs, Request{Dir: d, VC: vc, Pri: f.pri(alloc.Highest)})
 			case idleVC && !hasFP:
 				reqs = append(reqs, Request{Dir: d, VC: vc, Pri: f.pri(alloc.High)})
 			case idleVC:
 				reqs = append(reqs, Request{Dir: d, VC: vc, Pri: alloc.Low})
-			case v.VCOwner(d, vc) == ctx.Dest:
+			case own:
 				reqs = append(reqs, Request{Dir: d, VC: vc, Pri: f.pri(alloc.Medium)})
 			default:
 				reqs = append(reqs, Request{Dir: d, VC: vc, Pri: alloc.Low})
@@ -172,6 +186,25 @@ func (f *Footprint) Route(ctx *Context, reqs []Request) []Request {
 
 	// The escape channel is always requested at the lowest priority.
 	reqs = append(reqs, Request{Dir: esc, VC: 0, Pri: alloc.Lowest})
+	return reqs
+}
+
+// appendFootprintVCs requests every adaptive VC of port d owned by dest at
+// High priority, in ascending VC order.
+func (f *Footprint) appendFootprintVCs(reqs []Request, v View, bv BitsView, fast bool, d topo.Direction, dest, nVCs int) []Request {
+	if fast {
+		m := bv.OwnerBits(d, dest) &^ 1 // adaptive VCs only
+		for ; m != 0; m &= m - 1 {
+			vc := bits.TrailingZeros32(m)
+			reqs = append(reqs, Request{Dir: d, VC: vc, Pri: f.pri(alloc.High)})
+		}
+		return reqs
+	}
+	for vc := 1; vc < nVCs; vc++ {
+		if v.VCOwner(d, vc) == dest {
+			reqs = append(reqs, Request{Dir: d, VC: vc, Pri: f.pri(alloc.High)})
+		}
+	}
 	return reqs
 }
 

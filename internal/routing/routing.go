@@ -91,8 +91,43 @@ func adaptiveVCRange(usesEscape bool, numVCs int) (lo int) {
 	return 0
 }
 
+// AggregateView is an optional View extension for views that maintain
+// O(1) per-port aggregates (the router's struct-of-arrays state does, by
+// updating a per-port idle bitmask and per-destination owner counts on
+// every state transition). The counting helpers prefer it over scanning
+// VC by VC, because routes are re-evaluated every cycle a packet waits
+// and the scans dominated the cycle loop.
+type AggregateView interface {
+	View
+	// IdleCount returns the number of idle VCs of port d in [lo, VCs).
+	IdleCount(d topo.Direction, lo int) int
+	// FootprintCount returns the number of VCs of port d in [lo, VCs)
+	// currently owned by dest.
+	FootprintCount(d topo.Direction, dest, lo int) int
+}
+
+// BitsView is a further optional extension for views that can expose one
+// port's VC state as bitmasks (bit v describes VC v). Algorithms whose
+// request-building step inspects every VC of the chosen port (Footprint's
+// step 3) read three masks instead of making three interface calls per
+// VC. Implementations must agree with the scalar View methods; the
+// routing property tests cross-check the two paths.
+type BitsView interface {
+	AggregateView
+	// IdleBits returns the idle-VC bitmask of port d.
+	IdleBits(d topo.Direction) uint32
+	// OwnerBits returns the bitmask of port d's VCs owned by dest.
+	OwnerBits(d topo.Direction, dest int) uint32
+	// RegOwnerBits returns the bitmask of port d's VCs whose persistent
+	// footprint register names dest.
+	RegOwnerBits(d topo.Direction, dest int) uint32
+}
+
 // countIdle counts idle VCs of port d in [lo, V).
 func countIdle(v View, d topo.Direction, lo int) int {
+	if av, ok := v.(AggregateView); ok {
+		return av.IdleCount(d, lo)
+	}
 	n := 0
 	for i := lo; i < v.VCs(); i++ {
 		if v.VCIdle(d, i) {
@@ -104,6 +139,9 @@ func countIdle(v View, d topo.Direction, lo int) int {
 
 // countFootprint counts VCs of port d in [lo, V) owned by dest.
 func countFootprint(v View, d topo.Direction, dest, lo int) int {
+	if av, ok := v.(AggregateView); ok {
+		return av.FootprintCount(d, dest, lo)
+	}
 	n := 0
 	for i := lo; i < v.VCs(); i++ {
 		if v.VCOwner(d, i) == dest {

@@ -124,6 +124,14 @@ type EjectObserver interface {
 	OnEject(p *flit.Packet)
 }
 
+// ArenaUser is implemented by injectors that can allocate their packets
+// from the network's arena instead of the heap (traffic.Generator and
+// trace.Player do); the simulation hands them the arena at construction
+// and the endpoints recycle the packets at ejection.
+type ArenaUser interface {
+	UseArena(a *flit.Arena)
+}
+
 // Simulation drives one network through the measurement phases.
 type Simulation struct {
 	cfg  Config
@@ -205,6 +213,7 @@ func New(cfg Config, gens ...Injector) (*Simulation, error) {
 		Metrics:       sink,
 		StickyRouting: cfg.StickyRouting,
 		SlowEndpoints: cfg.SlowEndpoints,
+		StepAll:       cfg.StepAll,
 	})
 	s.net.Sink = s.onEject
 	if cfg.Obs.Profile {
@@ -226,6 +235,9 @@ func New(cfg Config, gens ...Injector) (*Simulation, error) {
 	mesh := cfg.Mesh()
 	for _, g := range gens {
 		g.Init(mesh, rng)
+		if au, ok := g.(ArenaUser); ok {
+			au.UseArena(s.net.Arena())
+		}
 		s.gens = append(s.gens, g)
 		if obs, ok := g.(EjectObserver); ok {
 			s.observers = append(s.observers, obs)
@@ -369,6 +381,8 @@ func (s *Simulation) heartbeat(now int64) {
 	if s.prof != nil {
 		u.Phases = s.prof.Snapshot()
 	}
+	arena := s.net.Arena().Stats()
+	u.Arena = &arena
 	if s.col != nil {
 		if s.col.Tracer != nil {
 			u.TraceEvents = s.col.Tracer.Total()
@@ -530,6 +544,8 @@ func (s *Simulation) Run() *Result {
 		if mem1.HeapSys > mem0.HeapSys {
 			pp.GC.HeapSysGrowthBytes = mem1.HeapSys - mem0.HeapSys
 		}
+		arena := s.net.Arena().Stats()
+		pp.Arena = &arena
 		res.PerfProfile = pp
 	}
 	return res

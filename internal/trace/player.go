@@ -20,11 +20,20 @@ type Player struct {
 	delivered map[uint64]bool
 	ready     []Record // dependency-satisfied, cycle-due records
 
+	// inflight keys by packet pointer, which is stable offer-to-eject
+	// even for arena packets: the endpoint recycles a slot only after
+	// OnEject (in the Sink chain) has run.
 	inflight map[*flit.Packet]uint64 // packet -> record ID
+
+	arena *flit.Arena
 
 	// Done counts delivered trace packets; Total is the trace size.
 	Done, Total int
 }
+
+// UseArena makes the player allocate packets from a instead of the heap;
+// the network's endpoints recycle them at ejection. Call before Tick.
+func (p *Player) UseArena(a *flit.Arena) { p.arena = a }
 
 // NewPlayer returns a player for records, which must be Validate-clean.
 func NewPlayer(records []Record) *Player {
@@ -56,13 +65,17 @@ func (p *Player) Tick(now int64, offer func(*flit.Packet)) {
 		p.ready = append(p.ready, r)
 	}
 	for _, r := range p.ready {
-		pkt := &flit.Packet{
-			ID:   r.ID,
-			Src:  r.Src,
-			Dest: r.Dest,
-			Size: r.Size,
-			Born: now,
+		var pkt *flit.Packet
+		if p.arena != nil {
+			pkt = p.arena.NewPacket()
+		} else {
+			pkt = &flit.Packet{}
 		}
+		pkt.ID = r.ID
+		pkt.Src = r.Src
+		pkt.Dest = r.Dest
+		pkt.Size = r.Size
+		pkt.Born = now
 		p.inflight[pkt] = r.ID
 		offer(pkt)
 	}

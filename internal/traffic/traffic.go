@@ -184,6 +184,20 @@ type Generator struct {
 	prob   float64
 	nextID uint64
 	rng    *rand.Rand
+	arena  *flit.Arena
+}
+
+// UseArena makes the generator allocate packets from a instead of the
+// heap; the network's endpoints recycle them at ejection. Call before
+// Tick.
+func (g *Generator) UseArena(a *flit.Arena) { g.arena = a }
+
+// newPacket allocates one packet, arena-backed when an arena is set.
+func (g *Generator) newPacket() *flit.Packet {
+	if g.arena != nil {
+		return g.arena.NewPacket()
+	}
+	return &flit.Packet{}
 }
 
 // Init prepares the generator for mesh m using rng for all randomness.
@@ -217,13 +231,13 @@ func (g *Generator) Tick(now int64, offer func(*flit.Packet)) {
 			continue
 		}
 		g.nextID++
-		offer(&flit.Packet{
-			ID:    g.nextID,
-			Src:   src,
-			Dest:  dest,
-			Size:  g.Size(g.rng),
-			Class: g.Class,
-			Born:  now,
-		})
+		p := g.newPacket()
+		p.ID = g.nextID
+		p.Src = src
+		p.Dest = dest
+		p.Size = g.Size(g.rng)
+		p.Class = g.Class
+		p.Born = now
+		offer(p)
 	}
 }
