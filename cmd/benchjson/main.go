@@ -86,6 +86,7 @@ func main() {
 			HeapAllocBytes: rt.HeapAllocBytes,
 			HeapAllocs:     rt.HeapAllocs,
 			Profile:        res.PerfProfile,
+			RouteCache:     res.RouteCache,
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: engine reference %s\n", rt.String())
 		if pp := res.PerfProfile; pp != nil {
@@ -93,6 +94,9 @@ func main() {
 			if pp.Arena != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: engine arena %s\n", pp.Arena)
 			}
+		}
+		if res.RouteCache != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: engine route cache %s\n", res.RouteCache)
 		}
 	}
 

@@ -30,6 +30,7 @@ func main() {
 	jobs := cli.NewJobs()
 	lobs := cli.NewObs("traces")
 	anat := cli.NewAnatomy("traces")
+	rcache := cli.NewRouteCache("traces")
 	flag.Parse()
 
 	if *gen != "" {
@@ -49,6 +50,7 @@ func main() {
 	prof.Jobs = *jobs
 	anat.Apply(&prof.Obs)
 	lobs.ApplyProfile(&prof)
+	rcache.ApplyProfile(&prof)
 
 	var pairList [][2]string
 	if *pairs != "" {

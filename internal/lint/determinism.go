@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -9,16 +10,23 @@ import (
 // results are a pure function of (Config, seed). Under the
 // deterministic roots the rule forbids
 //
-//   - wall-clock reads (time.Now / time.Since / time.Until), and
+//   - wall-clock reads (time.Now / time.Since / time.Until),
 //   - the global math/rand source (rand.Intn, rand.Shuffle, …), whose
 //     hidden shared state couples concurrent runs and breaks the
-//     "equal seeds ⇒ identical results at any -jobs" guarantee.
+//     "equal seeds ⇒ identical results at any -jobs" guarantee, and
+//   - Intn draws on a generator stored in a package-level variable.
+//     Routing decisions draw through the routing.Rand interface
+//     (Intn(n int) int), so a `var rng = rand.New(...)` shared across
+//     runs is the same hidden coupling as the global source with an
+//     explicit seed pasted on; generators must be owned per run and
+//     reach their draw sites as parameters, fields or locals.
 //
 // Explicitly seeded generators (rand.New(rand.NewSource(seed))) and
-// *rand.Rand method calls stay legal. Wall-clock self-metrics that
-// never feed results (cycles/s reporting, the phase profiler) flow
-// through the single waived seam prof.Now in internal/prof; consumers
-// take a prof.Clock and need no waiver of their own.
+// *rand.Rand / routing.Rand method calls on run-owned values stay
+// legal. Wall-clock self-metrics that never feed results (cycles/s
+// reporting, the phase profiler) flow through the single waived seam
+// prof.Now in internal/prof; consumers take a prof.Clock and need no
+// waiver of their own.
 var analyzeDeterminism = &Analyzer{
 	Name: "determinism",
 	Doc:  "no wall clock or global math/rand state in result-producing packages",
@@ -51,7 +59,17 @@ func runDeterminism(p *Package) []Finding {
 				return true
 			}
 			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // methods (e.g. *rand.Rand) are fine
+				// Methods (e.g. *rand.Rand, routing.Rand) are fine on
+				// run-owned generators — but an Intn-shaped draw whose
+				// receiver chain is rooted in a package-level variable is
+				// shared hidden state, seeded or not.
+				if isIntnShaped(fn, sig) {
+					if v := packageLevelRecv(p.Info, call); v != nil {
+						out = append(out, finding(p, call.Pos(), "determinism",
+							fmt.Sprintf("%s.Intn draws from package-level generator state; generators must be owned per run (parameter, field or local)", v.Name())))
+					}
+				}
+				return true
 			}
 			switch fn.Pkg().Path() {
 			case "time":
@@ -73,4 +91,43 @@ func runDeterminism(p *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// isIntnShaped reports whether a method has the routing.Rand draw shape:
+// named Intn, one int parameter, one int result. Matching the shape
+// rather than a concrete type catches both *rand.Rand and any
+// interposer implementing the Rand interface.
+func isIntnShaped(fn *types.Func, sig *types.Signature) bool {
+	if fn.Name() != "Intn" || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isInt(sig.Params().At(0).Type()) && isInt(sig.Results().At(0).Type())
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// packageLevelRecv returns the package-level variable at the root of a
+// method call's receiver chain (sharedRNG.Intn, state.rng.Intn), or nil
+// when the receiver is a parameter, field access through a local, or
+// any other run-scoped value.
+func packageLevelRecv(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	base, _ := leftmostIdent(sel.X)
+	if base == nil {
+		return nil
+	}
+	v, ok := info.ObjectOf(base).(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
 }

@@ -1,0 +1,11 @@
+// A package-level generator draw waived with a reasoned suppression.
+package fixture
+
+import "math/rand"
+
+// jitterRNG feeds a self-metric sampler, never simulation results.
+var jitterRNG = rand.New(rand.NewSource(1))
+
+func sampleJitter() int {
+	return jitterRNG.Intn(100) //noclint:allow determinism feeds the self-metric sampler only, never results
+}

@@ -1,0 +1,27 @@
+// A package-level generator shared across runs. The seed is explicit,
+// but the state is still hidden coupling: two concurrent runs drawing
+// from it interleave nondeterministically. noclint must flag the draw
+// even though the constructor call itself is legal.
+package fixture
+
+import "math/rand"
+
+// sharedRNG outlives any single run.
+var sharedRNG = rand.New(rand.NewSource(1))
+
+// tieBreak draws from the shared generator.
+func tieBreak() int {
+	return sharedRNG.Intn(2)
+}
+
+// holder shows the receiver-chain case: the generator hides one field
+// deep under a package-level variable.
+type holder struct {
+	rng *rand.Rand
+}
+
+var sharedState = holder{rng: rand.New(rand.NewSource(2))}
+
+func nestedTieBreak() int {
+	return sharedState.rng.Intn(2)
+}

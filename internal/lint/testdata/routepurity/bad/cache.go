@@ -1,0 +1,24 @@
+// A memoizing algorithm whose Route mutates caller-visible state: the
+// receiver's cache map and hit counter. Memoization belongs in the
+// cache layer that interposes on Route (internal/routing/cache.go),
+// where the router drives it explicitly — a Route that self-caches
+// hides writes inside what the replay contract requires to be a pure
+// decision function. noclint must flag every write.
+package fixture
+
+// CachingAlg memoizes decisions inside Route itself.
+type CachingAlg struct {
+	memo map[int][]int
+	hits int
+}
+
+// Route consults and populates the receiver's memo.
+func (c *CachingAlg) Route(dest int, reqs []int) []int {
+	if cached, ok := c.memo[dest]; ok {
+		c.hits++
+		return append(reqs, cached...)
+	}
+	decision := []int{dest % 4}
+	c.memo[dest] = decision
+	return append(reqs, decision...)
+}

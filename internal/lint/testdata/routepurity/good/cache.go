@@ -1,0 +1,21 @@
+// The pure counterpart of the caching fixture: a Route that reads a
+// prebuilt table owned by the receiver but writes only locals. Reuse
+// of prior decisions is the cache layer's job; the algorithm just
+// computes.
+package fixture
+
+// TableAlg routes from an immutable table built at construction.
+type TableAlg struct {
+	table map[int][]int
+}
+
+// Route reads the table and appends to the caller's slice — the only
+// memory it may grow is the request list it was handed.
+func (t *TableAlg) Route(dest int, reqs []int) []int {
+	decision, ok := t.table[dest]
+	if !ok {
+		fallback := dest % 4
+		return append(reqs, fallback)
+	}
+	return append(reqs, decision...)
+}

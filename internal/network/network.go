@@ -36,6 +36,11 @@ type Config struct {
 	// mode — results must be bit-identical either way (the determinism
 	// gate compares the two), it only costs time.
 	StepAll bool
+	// NoRouteCache disables the shared route-decision cache (on by
+	// default for algorithms that implement routing.Fingerprinter). An
+	// escape hatch — results must be bit-identical either way (the
+	// route-cache gate compares the two), caching only saves time.
+	NoRouteCache bool
 }
 
 // chanLink is one channel with the nodes it can wake: a busy channel has
@@ -53,6 +58,7 @@ type Network struct {
 	endpoints []*router.Endpoint
 	links     []chanLink
 	arena     *flit.Arena
+	cache     *routing.Cache // shared route-decision cache, nil when off
 	now       int64
 	inFlight  int
 
@@ -130,6 +136,15 @@ func New(cfg Config) *Network {
 	n.activeMark = make([]bool, nodes)
 	n.activeNodes = make([]int, 0, nodes)
 
+	// One route-decision cache serves the whole fabric: routers step
+	// sequentially within a cycle, and congruent states recur across
+	// routers as well as across blocked cycles. NewCache leaves the
+	// cache disabled when the algorithm did not opt into fingerprinting.
+	if !cfg.NoRouteCache {
+		if c := routing.NewCache(cfg.NewAlg()); c.Enabled() {
+			n.cache = c
+		}
+	}
 	for id := 0; id < nodes; id++ {
 		n.routers[id] = router.New(router.Config{
 			Mesh:          cfg.Mesh,
@@ -142,6 +157,7 @@ func New(cfg Config) *Network {
 			Downstream:    n,
 			Metrics:       cfg.Metrics,
 			StickyRouting: cfg.StickyRouting,
+			Cache:         n.cache,
 		})
 	}
 	// Inter-router links: for every node and direction with a neighbour,
@@ -218,6 +234,17 @@ func (n *Network) Offer(p *flit.Packet) {
 // packets from it (endpoints recycle them at ejection) and the profiler
 // reads its live/free/high-water accounting.
 func (n *Network) Arena() *flit.Arena { return n.arena }
+
+// RouteCacheStats returns a snapshot of the shared route-decision
+// cache's counters, or nil when caching is off (disabled by config or
+// by an algorithm without fingerprinting).
+func (n *Network) RouteCacheStats() *routing.CacheStats {
+	if n.cache == nil {
+		return nil
+	}
+	s := n.cache.Stats()
+	return &s
+}
 
 // computeActive rebuilds the worklist for this cycle: a node is active
 // when its router or endpoint holds work, or when any attached channel is

@@ -31,6 +31,11 @@ type Config struct {
 	// packet waits. Off by default: re-evaluation reproduces the paper's
 	// results (see DESIGN.md).
 	StickyRouting bool
+	// Cache, when non-nil and enabled, serves route computations for
+	// congruent states from a fingerprint cache (see routing.Cache). The
+	// network shares one cache across its routers; results are
+	// bit-identical with or without it.
+	Cache *routing.Cache
 }
 
 // DownstreamInfo answers the neighbour-status queries of adaptive routing:
@@ -102,7 +107,18 @@ type Router struct {
 	// destination.
 	idleMask [topo.NumPorts]uint32
 	fpCnt    []int16
-	nodes    int // cfg.Mesh.Nodes(), fpCnt stride
+	regCnt   []int16 // like fpCnt, for the persistent footprint registers
+	nodes    int     // cfg.Mesh.Nodes(), fpCnt/regCnt stride
+
+	// portEpoch counts, per output port, the idle/owner/reg-owner state
+	// transitions since construction. The route cache's slot memo
+	// (routing.EpochView) compares epochs to replay a blocked packet's
+	// previous decision without hashing.
+	portEpoch [topo.NumPorts]uint32
+	// cache/routeSlots are the shared route-decision cache and this
+	// router's per-input-VC memo slots; nil/empty when caching is off.
+	cache      *routing.Cache
+	routeSlots []routing.CacheSlot
 
 	// Output stages: per-port rings of capacity stageCap over one backing
 	// array, absorbing the internal speedup.
@@ -227,6 +243,11 @@ func New(cfg Config) *Router {
 	}
 	r.nodes = cfg.Mesh.Nodes()
 	r.fpCnt = make([]int16, P*r.nodes)
+	r.regCnt = make([]int16, P*r.nodes)
+	if cfg.Cache != nil && cfg.Cache.Enabled() {
+		r.cache = cfg.Cache
+		r.routeSlots = make([]routing.CacheSlot, n)
+	}
 	for p := 0; p < P; p++ {
 		r.saIn[p] = alloc.NewRoundRobin(cfg.VCs)
 		r.saOut[p] = alloc.NewRoundRobin(P)
@@ -283,20 +304,25 @@ func (r *Router) outIdle(idx int) bool {
 }
 
 // refreshIdleBit re-derives output VC idx's bit of the per-port idle
-// bitmask. Call after any mutation of outAlloc, outCredits or
-// outAwaitTail.
+// bitmask, bumping the port's state epoch on an actual flip. Call after
+// any mutation of outAlloc, outCredits or outAwaitTail.
 func (r *Router) refreshIdleBit(idx int) {
 	p := idx / r.vcs
 	bit := uint32(1) << uint(idx%r.vcs)
+	old := r.idleMask[p]
 	if r.outIdle(idx) {
-		r.idleMask[p] |= bit
+		r.idleMask[p] = old | bit
 	} else {
-		r.idleMask[p] &^= bit
+		r.idleMask[p] = old &^ bit
+	}
+	if r.idleMask[p] != old {
+		r.portEpoch[p]++
 	}
 }
 
 // setOwner moves output VC idx's footprint owner to dest (-1 on drain),
-// keeping the per-(port, destination) owner counts in step.
+// keeping the per-(port, destination) owner counts and the port's state
+// epoch in step.
 func (r *Router) setOwner(idx, dest int) {
 	old := int(r.outOwner[idx])
 	if old == dest {
@@ -310,6 +336,26 @@ func (r *Router) setOwner(idx, dest int) {
 		r.fpCnt[p*r.nodes+dest]++
 	}
 	r.outOwner[idx] = int32(dest)
+	r.portEpoch[p]++
+}
+
+// setRegOwner moves output VC idx's persistent footprint register to
+// dest, keeping the per-(port, destination) register counts and the
+// port's state epoch in step.
+func (r *Router) setRegOwner(idx, dest int) {
+	old := int(r.outRegOwner[idx])
+	if old == dest {
+		return
+	}
+	p := idx / r.vcs
+	if old >= 0 {
+		r.regCnt[p*r.nodes+old]--
+	}
+	if dest >= 0 {
+		r.regCnt[p*r.nodes+dest]++
+	}
+	r.outRegOwner[idx] = int32(dest)
+	r.portEpoch[p]++
 }
 
 // --- input buffer rings ----------------------------------------------------
@@ -415,8 +461,12 @@ func (r *Router) IdleCount(d topo.Direction, lo int) int {
 func (r *Router) IdleBits(d topo.Direction) uint32 { return r.idleMask[d] }
 
 // OwnerBits implements routing.BitsView: the VCs of port d owned by dest,
-// built from the owner array without per-VC interface dispatch.
+// built from the owner array without per-VC interface dispatch. The
+// maintained owner count short-circuits the common no-footprint case.
 func (r *Router) OwnerBits(d topo.Direction, dest int) uint32 {
+	if dest < 0 || r.fpCnt[int(d)*r.nodes+dest] == 0 {
+		return 0
+	}
 	base := int(d) * r.vcs
 	var m uint32
 	for v := 0; v < r.vcs; v++ {
@@ -428,8 +478,12 @@ func (r *Router) OwnerBits(d topo.Direction, dest int) uint32 {
 }
 
 // RegOwnerBits implements routing.BitsView: the VCs of port d whose
-// persistent footprint register names dest.
+// persistent footprint register names dest, with the same count-based
+// short-circuit as OwnerBits.
 func (r *Router) RegOwnerBits(d topo.Direction, dest int) uint32 {
+	if dest < 0 || r.regCnt[int(d)*r.nodes+dest] == 0 {
+		return 0
+	}
 	base := int(d) * r.vcs
 	var m uint32
 	for v := 0; v < r.vcs; v++ {
@@ -439,6 +493,11 @@ func (r *Router) RegOwnerBits(d topo.Direction, dest int) uint32 {
 	}
 	return m
 }
+
+// PortEpoch implements routing.EpochView: the output port's cumulative
+// idle/owner/reg-owner transition count. While a port's epoch stands
+// still, every routing-visible bit of its state is unchanged.
+func (r *Router) PortEpoch(d topo.Direction) uint32 { return r.portEpoch[d] }
 
 // FootprintCount implements routing.AggregateView: the number of VCs of
 // port d in [lo, VCs) currently owned by dest, read off the maintained
@@ -574,7 +633,11 @@ func (r *Router) AllocateVCs() {
 					// context was bound at construction.
 					r.routeCtx.Dest = f.Packet.Dest
 					r.routeCtx.InDir = topo.Direction(p)
-					reqs = r.cfg.Alg.Route(&r.routeCtx, reqs)
+					if r.cache != nil {
+						reqs = r.cache.Requests(r.cfg.Alg, &r.routeCtx, &r.routeSlots[requester], reqs)
+					} else {
+						reqs = r.cfg.Alg.Route(&r.routeCtx, reqs)
+					}
 					if len(reqs) > 0 {
 						// The first request's port is the adaptive choice
 						// (escape request is appended last by convention).
@@ -623,7 +686,7 @@ func (r *Router) AllocateVCs() {
 		r.outAlloc[g.Resource] = true
 		r.refreshIdleBit(g.Resource)
 		r.setOwner(g.Resource, dest)
-		r.outRegOwner[g.Resource] = int32(dest)
+		r.setRegOwner(g.Resource, dest)
 		if r.wantEvents {
 			r.cfg.Metrics.OnVCAllocGrant(r.now, r.cfg.NodeID, r.bufFront(g.Requester).Packet,
 				od, ovc, class, r.inBlocked[g.Requester])

@@ -12,13 +12,24 @@ package routing
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 
 	"nocsim/internal/alloc"
 	"nocsim/internal/topo"
 )
+
+// Rand is the tie-break randomness a routing decision may consume. It is
+// the minimal slice of *math/rand.Rand the algorithms use (a single
+// Intn(2) on full ties in selectByCounts), narrowed to an interface so
+// the route cache can interpose a recording source: the cache counts how
+// many draws a computed decision consumed and replays exactly that many
+// from the live stream on every hit, keeping the shared per-router RNG
+// stream bit-identical whether or not caching is enabled.
+type Rand interface {
+	// Intn returns a uniform value in [0, n). n must be > 0.
+	Intn(n int) int
+}
 
 // View is the routing-visible state of one router, provided by the router
 // microarchitecture. All information is local except DownstreamIdle, which
@@ -54,7 +65,7 @@ type Context struct {
 	// injected packets. Turn-model algorithms need it to identify turns.
 	InDir topo.Direction
 	View  View
-	Rand  *rand.Rand
+	Rand  Rand
 }
 
 // Request asks for virtual channel VC of output port Dir at priority Pri.
@@ -84,7 +95,7 @@ type Algorithm interface {
 
 // adaptiveVCRange returns the usable VC index range [lo, V) for non-escape
 // requests of an algorithm.
-func adaptiveVCRange(usesEscape bool, numVCs int) (lo int) {
+func adaptiveVCRange(usesEscape bool) (lo int) {
 	if usesEscape {
 		return 1
 	}

@@ -657,7 +657,7 @@ func TestFootprintCost(t *testing.T) {
 }
 
 func TestAdaptiveVCRange(t *testing.T) {
-	if adaptiveVCRange(true, 10) != 1 || adaptiveVCRange(false, 10) != 0 {
+	if adaptiveVCRange(true) != 1 || adaptiveVCRange(false) != 0 {
 		t.Error("adaptiveVCRange wrong")
 	}
 }

@@ -34,6 +34,17 @@ func (v *VOQSW) UsesEscape() bool { return v.base.UsesEscape() }
 // ConservativeRealloc implements Algorithm, deferring to the base.
 func (v *VOQSW) ConservativeRealloc() bool { return v.base.ConservativeRealloc() }
 
+// CacheSpec implements Fingerprinter: the next-hop class is a function
+// of the offset and the base algorithm's port choice, so the base
+// algorithm's spec already covers the overlay.
+func (v *VOQSW) CacheSpec() (CacheSpec, bool) {
+	f, ok := v.base.(Fingerprinter)
+	if !ok {
+		return CacheSpec{}, false
+	}
+	return f.CacheSpec()
+}
+
 // nextHopClass returns the VC class for a packet leaving cur through out
 // toward dest: the dimension-order output direction it will take at the
 // next router (Local when the next router is the destination), folded
@@ -59,7 +70,7 @@ func (v *VOQSW) Route(ctx *Context, reqs []Request) []Request {
 	reqs = v.base.Route(ctx, reqs)
 
 	nVCs := ctx.View.VCs()
-	lo := adaptiveVCRange(v.base.UsesEscape(), nVCs)
+	lo := adaptiveVCRange(v.base.UsesEscape())
 
 	var dir topo.Direction
 	found := false

@@ -30,6 +30,19 @@ func (x *XORDET) UsesEscape() bool { return x.base.UsesEscape() }
 // ConservativeRealloc implements Algorithm, deferring to the base.
 func (x *XORDET) ConservativeRealloc() bool { return x.base.ConservativeRealloc() }
 
+// CacheSpec implements Fingerprinter: the base algorithm's spec plus the
+// destination coordinate class, because the static VC map depends on
+// absolute destination coordinates rather than offsets.
+func (x *XORDET) CacheSpec() (CacheSpec, bool) {
+	f, ok := x.base.(Fingerprinter)
+	if !ok {
+		return CacheSpec{}, false
+	}
+	spec, ok := f.CacheSpec()
+	spec.DestClass = true
+	return spec, ok
+}
+
 // Class returns the static VC class of dest on mesh m given nClasses
 // usable VCs: the XOR of the destination coordinates folded modulo
 // nClasses.
@@ -47,7 +60,7 @@ func (x *XORDET) Route(ctx *Context, reqs []Request) []Request {
 	reqs = x.base.Route(ctx, reqs)
 
 	nVCs := ctx.View.VCs()
-	lo := adaptiveVCRange(x.base.UsesEscape(), nVCs)
+	lo := adaptiveVCRange(x.base.UsesEscape())
 	vc := lo + Class(ctx.Mesh, ctx.Dest, nVCs-lo)
 
 	// Find the port the base algorithm chose for its adaptive requests

@@ -45,6 +45,10 @@ type Config struct {
 	// and endpoint is visited every cycle (see network.Config.StepAll). A
 	// debug mode: results are bit-identical either way, only slower.
 	StepAll bool
+	// NoRouteCache disables the route-decision cache (see
+	// network.Config.NoRouteCache). An escape hatch: results are
+	// bit-identical either way, only slower.
+	NoRouteCache bool
 	// Obs selects the observability collectors (lifecycle tracer,
 	// counter sampler, link heatmap) attached to the run. The zero value
 	// disables them all; see Simulation.Observability.

@@ -73,14 +73,34 @@ type Coord struct {
 type Mesh struct {
 	Width  int
 	Height int
+	// recipW is ⌈2^32/Width⌉, precomputed by New so Coord can turn its
+	// node/Width division — on the route-computation hot path for every
+	// algorithm — into a multiply and shift. The quotient
+	// (node*recipW)>>32 is exact for node < 2^16 and Width < 2^16
+	// (Granlund–Montgomery round-up invariant: node*Width < 2^32), which
+	// New guarantees by bounding the node count. Zero (a Mesh built
+	// without New) falls back to plain division.
+	recipW uint64
 }
+
+// maxNodes bounds the mesh size so the reciprocal-multiply Coord stays
+// exact. 65535 routers is more than an order of magnitude beyond the
+// largest mesh in the paper's experiments (32×32).
+const maxNodes = 1<<16 - 1
 
 // New returns a Width×Height mesh. Width and Height must be positive.
 func New(width, height int) (Mesh, error) {
 	if width <= 0 || height <= 0 {
 		return Mesh{}, fmt.Errorf("topo: invalid mesh dimensions %dx%d", width, height)
 	}
-	return Mesh{Width: width, Height: height}, nil
+	if width*height > maxNodes {
+		return Mesh{}, fmt.Errorf("topo: mesh %dx%d exceeds %d nodes", width, height, maxNodes)
+	}
+	return Mesh{
+		Width:  width,
+		Height: height,
+		recipW: (1<<32 + uint64(width) - 1) / uint64(width),
+	}, nil
 }
 
 // MustNew is New but panics on invalid dimensions; intended for tests and
@@ -98,6 +118,10 @@ func (m Mesh) Nodes() int { return m.Width * m.Height }
 
 // Coord returns the coordinates of node id.
 func (m Mesh) Coord(node int) Coord {
+	if m.recipW != 0 {
+		y := int(uint64(uint32(node)) * m.recipW >> 32)
+		return Coord{X: node - y*m.Width, Y: y}
+	}
 	return Coord{X: node % m.Width, Y: node / m.Width}
 }
 

@@ -216,3 +216,27 @@ func TestBinomial(t *testing.T) {
 		}
 	}
 }
+
+// TestCoordReciprocalExact exhaustively checks the reciprocal-multiply
+// Coord against plain division for every node of every mesh shape up to
+// 300 wide/tall plus the widest shapes the node bound admits, so the
+// strength reduction can never change a routing decision.
+func TestCoordReciprocalExact(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {255, 257}, {257, 255}, {65535, 1}, {1, 65535}}
+	for w := 1; w <= 300; w++ {
+		shapes = append(shapes, [2]int{w, (maxNodes / w) / 2}, [2]int{w, maxNodes / w})
+	}
+	for _, s := range shapes {
+		m, err := New(s[0], s[1])
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", s[0], s[1], err)
+		}
+		for n := 0; n < m.Nodes(); n++ {
+			got := m.Coord(n)
+			want := Coord{X: n % m.Width, Y: n / m.Width}
+			if got != want {
+				t.Fatalf("Coord(%d) on %dx%d = %+v, want %+v", n, m.Width, m.Height, got, want)
+			}
+		}
+	}
+}
