@@ -1,8 +1,15 @@
 // Command noclint runs the repository's domain-aware static analyzers
-// (determinism, exhaustive, maporder, routepurity, seedident) over Go
-// packages. It must be run from the module root:
+// over Go packages: the per-package rules (determinism, exhaustive,
+// maporder, routepurity, seedident) and the interprocedural program
+// rules (arenaescape, cacheread, rngorder, sinkcap), which resolve
+// calls across the whole module at once. It must be run from the
+// module root:
 //
 //	go run ./cmd/noclint ./...
+//
+// -json emits the findings (suppressed ones included, marked) as a
+// JSON array; -waivers lists every //noclint:allow comment with its
+// rule and reason without type-checking; -rules prints the suite.
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 // or load errors. See internal/lint for the rules and the

@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzeArenaEscape enforces the arena discipline PR 8 introduced:
+// flits and packets live in per-run arenas addressed by generation-
+// tagged handles, and the whole point of the generation check is that a
+// stale reference panics at its use site instead of corrupting a later
+// run. That protection has two static blind spots this rule closes:
+//
+//   - Escape to package state. A *Flit/*Packet pointer or a Handle
+//     stored in a package-level variable outlives its run; the next run
+//     reuses the arena slot and the stored reference silently aliases a
+//     different packet (pointers) or panics long after the real bug
+//     (handles). The rule flags package-level declarations whose type
+//     structurally contains an arena type, and assignments that store an
+//     arena-typed value through a package-level variable (map inserts,
+//     appends to package slices).
+//
+//   - Use after free on the same path. Within one statement block, using
+//     a handle variable after it was passed to FreeFlit/FreePacket —
+//     directly or through a module function that transitively frees that
+//     parameter — is flagged. Rebinding the variable clears the taint;
+//     frees inside nested control flow are not propagated outward
+//     (conservative: no false positives from branches that may not run).
+//
+// Arena packages are recognized structurally — a module package
+// declaring a type Arena with FreeFlit and FreePacket methods — so the
+// rule needs no hardcoded import path and applies to fixtures.
+var analyzeArenaEscape = &ProgramAnalyzer{
+	Name: "arenaescape",
+	Doc:  "arena-backed flit/packet pointers and handles never outlive their run or their Free",
+	Run:  runArenaEscape,
+}
+
+// arenaTypeNames are the run-scoped types of an arena package.
+var arenaTypeNames = map[string]bool{"Flit": true, "Packet": true, "Handle": true}
+
+func runArenaEscape(prog *Program) []Finding {
+	arenaPkgs := arenaPackages(prog)
+	if len(arenaPkgs) == 0 {
+		return nil
+	}
+	isArena := func(t types.Type) bool {
+		n := namedType(t)
+		if n == nil || n.Obj().Pkg() == nil {
+			return false
+		}
+		return arenaPkgs[n.Obj().Pkg().Path()] && arenaTypeNames[n.Obj().Name()]
+	}
+	contains := func(t types.Type) bool { return containsArenaType(t, isArena, map[types.Type]bool{}) }
+
+	frees := freeSummaries(prog, arenaPkgs)
+
+	var out []Finding
+	for _, p := range prog.Packages {
+		if !inModule(p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				switch x := d.(type) {
+				case *ast.GenDecl:
+					// Package-level vars holding arena state.
+					for _, spec := range x.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							v, ok := p.Info.Defs[name].(*types.Var)
+							if !ok || v.Parent() != p.Pkg.Scope() {
+								continue
+							}
+							if contains(v.Type()) {
+								out = append(out, finding(p, name.Pos(), "arenaescape",
+									fmt.Sprintf("package-level %s holds arena-backed state (%s); arena references must not outlive their run",
+										name.Name, v.Type())))
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					if x.Body == nil {
+						continue
+					}
+					out = append(out, arenaStores(p, x, contains)...)
+					out = append(out, useAfterFree(prog, p, x, arenaPkgs, frees)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// arenaPackages finds every module package (among the program's packages
+// and their imports) declaring a type Arena with FreeFlit and FreePacket
+// methods.
+func arenaPackages(prog *Program) map[string]bool {
+	found := map[string]bool{}
+	check := func(pkg *types.Package) {
+		if pkg == nil || found[pkg.Path()] || !inModule(pkg.Path()) {
+			return
+		}
+		tn, ok := pkg.Scope().Lookup("Arena").(*types.TypeName)
+		if !ok {
+			return
+		}
+		ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+		hasFlit, hasPacket := false, false
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "FreeFlit":
+				hasFlit = true
+			case "FreePacket":
+				hasPacket = true
+			}
+		}
+		if hasFlit && hasPacket {
+			found[pkg.Path()] = true
+		}
+	}
+	for _, p := range prog.Packages {
+		check(p.Pkg)
+		if p.Pkg != nil {
+			for _, imp := range p.Pkg.Imports() {
+				check(imp)
+			}
+		}
+	}
+	return found
+}
+
+// containsArenaType walks a type structurally (structs, arrays, slices,
+// maps, pointers, channels) looking for an arena type. Function and
+// interface types are opaque: passing a handle to a function is the
+// normal calling convention, not storage.
+func containsArenaType(t types.Type, isArena func(types.Type) bool, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isArena(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return containsArenaType(u.Elem(), isArena, seen)
+	case *types.Slice:
+		return containsArenaType(u.Elem(), isArena, seen)
+	case *types.Array:
+		return containsArenaType(u.Elem(), isArena, seen)
+	case *types.Chan:
+		return containsArenaType(u.Elem(), isArena, seen)
+	case *types.Map:
+		return containsArenaType(u.Key(), isArena, seen) || containsArenaType(u.Elem(), isArena, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsArenaType(u.Field(i).Type(), isArena, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// arenaStores flags assignments that store arena-typed values through a
+// package-level variable.
+func arenaStores(p *Package, fd *ast.FuncDecl, contains func(types.Type) bool) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			base, _ := leftmostIdent(lhs)
+			if base == nil || base.Name == "_" {
+				continue
+			}
+			v, ok := p.Info.ObjectOf(base).(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				continue
+			}
+			var rhs ast.Expr
+			switch {
+			case len(as.Rhs) == len(as.Lhs):
+				rhs = as.Rhs[i]
+			case len(as.Rhs) == 1:
+				rhs = as.Rhs[0]
+			default:
+				continue
+			}
+			if tv, ok := p.Info.Types[rhs]; ok && tv.Type != nil && contains(tv.Type) {
+				out = append(out, finding(p, lhs.Pos(), "arenaescape",
+					fmt.Sprintf("stores arena-backed state into package-level %s; arena references must not outlive their run", base.Name)))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freeSummaries computes, for every module function, which parameter
+// indices it transitively passes to an arena Free method. The summary
+// makes the use-after-free scan interprocedural: a helper that frees its
+// handle argument taints that argument at every call site.
+func freeSummaries(prog *Program, arenaPkgs map[string]bool) map[string]map[int]bool {
+	sums := map[string]map[int]bool{}
+	var visit func(node *FuncNode, active map[string]bool) map[int]bool
+	visit = func(node *FuncNode, active map[string]bool) map[int]bool {
+		if s, ok := sums[node.Key]; ok {
+			return s
+		}
+		if active[node.Key] {
+			return nil
+		}
+		active[node.Key] = true
+		defer delete(active, node.Key)
+
+		params := map[types.Object]int{}
+		sig := node.Obj.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			params[sig.Params().At(i)] = i
+		}
+		s := map[int]bool{}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			freed := freedArgIndices(prog, node.Pkg, call, arenaPkgs, func(callee *FuncNode) map[int]bool {
+				return visit(callee, active)
+			})
+			for _, ai := range freed {
+				if ai >= len(call.Args) {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Args[ai]).(*ast.Ident); ok {
+					if pi, ok := params[node.Pkg.Info.ObjectOf(id)]; ok {
+						s[pi] = true
+					}
+				}
+			}
+			return true
+		})
+		sums[node.Key] = s
+		return s
+	}
+	for _, node := range prog.Funcs {
+		visit(node, map[string]bool{})
+	}
+	return sums
+}
+
+// freedArgIndices returns the indices of call arguments that this call
+// frees: all arguments of a direct Arena Free method, or the callee's
+// freed parameters for a module-local call.
+func freedArgIndices(prog *Program, p *Package, call *ast.CallExpr, arenaPkgs map[string]bool,
+	calleeSummary func(*FuncNode) map[int]bool) []int {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if fn.Name() == "FreeFlit" || fn.Name() == "FreePacket" {
+			if n := namedType(sig.Recv().Type()); n != nil && n.Obj().Name() == "Arena" &&
+				n.Obj().Pkg() != nil && arenaPkgs[n.Obj().Pkg().Path()] {
+				idx := make([]int, len(call.Args))
+				for i := range idx {
+					idx[i] = i
+				}
+				return idx
+			}
+		}
+	}
+	if node := prog.Funcs[funcKeyOf(fn)]; node != nil {
+		var idx []int
+		for i := range calleeSummary(node) {
+			idx = append(idx, i)
+		}
+		return idx
+	}
+	return nil
+}
+
+// useAfterFree scans each statement block linearly: once a variable is
+// passed to a freeing call, any later use of it in the same block is
+// flagged until it is rebound.
+func useAfterFree(prog *Program, p *Package, fd *ast.FuncDecl, arenaPkgs map[string]bool, frees map[string]map[int]bool) []Finding {
+	var out []Finding
+	sumOf := func(node *FuncNode) map[int]bool { return frees[node.Key] }
+
+	var scanBlock func(stmts []ast.Stmt)
+	scanBlock = func(stmts []ast.Stmt) {
+		freed := map[types.Object]ast.Node{} // var → the freeing call
+		for _, st := range stmts {
+			// Recurse into nested blocks first (their own linear scans);
+			// frees inside them do not taint this block's tail.
+			switch x := st.(type) {
+			case *ast.BlockStmt:
+				scanBlock(x.List)
+			case *ast.IfStmt:
+				scanBlock(x.Body.List)
+				if eb, ok := x.Else.(*ast.BlockStmt); ok {
+					scanBlock(eb.List)
+				}
+			case *ast.ForStmt:
+				scanBlock(x.Body.List)
+			case *ast.RangeStmt:
+				scanBlock(x.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range x.Body.List {
+					scanBlock(c.(*ast.CaseClause).Body)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range x.Body.List {
+					scanBlock(c.(*ast.CaseClause).Body)
+				}
+			}
+
+			// Uses of already-freed variables in this statement.
+			if len(freed) > 0 {
+				reported := map[types.Object]bool{}
+				ast.Inspect(st, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := p.Info.ObjectOf(id)
+					if obj == nil || reported[obj] {
+						return true
+					}
+					if _, isFreed := freed[obj]; isFreed && !isRebinding(st, id) {
+						reported[obj] = true
+						out = append(out, finding(p, id.Pos(), "arenaescape",
+							fmt.Sprintf("%s used after being freed on this path", id.Name)))
+					}
+					return true
+				})
+			}
+
+			// Rebinding clears the taint.
+			if as, ok := st.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						delete(freed, p.Info.ObjectOf(id))
+					}
+				}
+			}
+
+			// New frees introduced by this statement (only at this block's
+			// level: branch-local frees stay branch-local).
+			if es, ok := st.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					for _, ai := range freedArgIndices(prog, p, call, arenaPkgs, sumOf) {
+						if ai >= len(call.Args) {
+							continue
+						}
+						if id, ok := ast.Unparen(call.Args[ai]).(*ast.Ident); ok {
+							if obj := p.Info.ObjectOf(id); obj != nil {
+								freed[obj] = call
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	scanBlock(fd.Body.List)
+	return out
+}
+
+// isRebinding reports whether id appears as a plain assignment target of
+// st (the rebinding itself is not a use).
+func isRebinding(st ast.Stmt, id *ast.Ident) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if ast.Unparen(lhs) == ast.Expr(id) {
+			return true
+		}
+	}
+	return false
+}

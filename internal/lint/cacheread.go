@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// analyzeCacheRead statically proves the route cache's central soundness
+// argument: an algorithm that opts into caching by implementing
+// Fingerprinter asserts that its Route is a pure function of the
+// destination offset, the arrival port, its construction-time
+// configuration and the facets its CacheSpec declares. PR 9 backed that
+// assertion with a differential fuzz target; this rule turns it into a
+// build-time proof obligation. For every type declaring a
+// CacheSpec() (CacheSpec, bool) method alongside a Route method, the
+// rule walks the transitive read-set of Route — through module-local
+// helpers, with arguments bound context-sensitively — and checks that
+// every facet-keyed read (view methods, coordinate parities, absolute
+// destination classes) is covered by a declared facet. Overlay
+// algorithms that derive their spec from a wrapped base
+// (base.CacheSpec() + own facets) may delegate base.Route untracked;
+// everything else they read must be covered by their own additions.
+//
+// Reads the abstraction cannot express in any facet — absolute
+// current-position coordinates beyond parity, node ids leaking into
+// unanalyzable calls — are findings too: they would silently desync
+// cached from computed decisions.
+var analyzeCacheRead = &ProgramAnalyzer{
+	Name: "cacheread",
+	Doc:  "a Fingerprinter's Route reads only state covered by its declared CacheSpec facets",
+	Run:  runCacheRead,
+}
+
+// cacheSpecFacets are the declarable CacheSpec fields, used to sanity-
+// check parsed specs against fixture drift.
+var cacheSpecFacets = map[string]bool{
+	"Idle":         true,
+	"Owner":        true,
+	"RegOwner":     true,
+	"Downstream":   true,
+	"ColumnParity": true,
+	"DestClass":    true,
+}
+
+// specDecl is one parsed CacheSpec declaration.
+type specDecl struct {
+	facets    map[string]bool
+	delegates map[string]bool // receiver fields whose spec is derived
+}
+
+// cacheRoot pairs a Fingerprinter's CacheSpec declaration with the
+// Route method it makes cacheable.
+type cacheRoot struct {
+	spec  *FuncNode
+	route *FuncNode
+}
+
+// cacheSpecRoots finds every module type declaring both the
+// Fingerprinter shape and a Route method, in source order.
+func cacheSpecRoots(prog *Program) []cacheRoot {
+	var roots []cacheRoot
+	for _, node := range prog.Funcs {
+		if node.Decl.Name.Name != "CacheSpec" || node.Decl.Recv == nil {
+			continue
+		}
+		if !inModule(node.Pkg.Path) {
+			continue
+		}
+		sig := node.Obj.Type().(*types.Signature)
+		if sig.Recv() == nil || !isCacheSpecSig(sig) {
+			continue
+		}
+		recv := namedType(sig.Recv().Type())
+		if recv == nil {
+			continue
+		}
+		routeNode := prog.Funcs[node.Pkg.Path+"|"+recv.Obj().Name()+"|Route"]
+		if routeNode == nil {
+			continue
+		}
+		roots = append(roots, cacheRoot{spec: node, route: routeNode})
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].spec.Decl.Pos() < roots[j].spec.Decl.Pos() })
+	return roots
+}
+
+func runCacheRead(prog *Program) []Finding {
+	var out []Finding
+	for _, r := range cacheSpecRoots(prog) {
+		decl := parseCacheSpec(r.spec)
+		var uses []facetUse
+		w := newRouteWalker(prog, decl.delegates)
+		w.onFacet = func(u facetUse) { uses = append(uses, u) }
+		w.onFinding = func(pos token.Pos, msg string) {
+			out = append(out, Finding{Pos: prog.position(pos), Rule: "cacheread",
+				Msg: routeOwner(r.route) + " " + msg})
+		}
+		walkRoute(w, r.route)
+		seen := map[string]bool{}
+		for _, u := range uses {
+			if decl.facets[u.facet] {
+				continue
+			}
+			key := fmt.Sprintf("%s@%v", u.facet, u.pos)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Finding{Pos: prog.position(u.pos), Rule: "cacheread",
+				Msg: fmt.Sprintf("%s reads %s but its CacheSpec does not declare the %s facet",
+					routeOwner(r.route), u.what, u.facet)})
+		}
+	}
+	return out
+}
+
+// isCacheSpecSig reports the Fingerprinter method shape: no parameters,
+// results (struct named CacheSpec, bool).
+func isCacheSpecSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+		return false
+	}
+	n := namedType(sig.Results().At(0).Type())
+	if n == nil || n.Obj().Name() != "CacheSpec" {
+		return false
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	b, ok := sig.Results().At(1).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// routeOwner labels a Route root for messages, e.g. "(*Footprint).Route".
+func routeOwner(node *FuncNode) string {
+	sig := node.Obj.Type().(*types.Signature)
+	if n := namedType(sig.Recv().Type()); n != nil {
+		return "(*" + n.Obj().Name() + ").Route"
+	}
+	return "Route"
+}
+
+// parseCacheSpec extracts the declared facets and delegation fields from
+// a CacheSpec method body. Facets come from CacheSpec composite literals
+// (keyed and positional) and spec.<Facet> = ... assignments; a facet
+// assigned any non-false expression counts as declared (overdeclaring
+// keys on more state, which is sound). Delegation is the overlay
+// pattern: asserting a receiver field to Fingerprinter (or calling
+// CacheSpec on it directly) marks that field's Route as covered by the
+// derived spec.
+func parseCacheSpec(node *FuncNode) specDecl {
+	info := node.Pkg.Info
+	decl := specDecl{facets: map[string]bool{}, delegates: map[string]bool{}}
+
+	// The receiver object, for tracing field selections.
+	var recvObj types.Object
+	if fd := node.Decl; fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvObj = info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	// fieldOf maps locals to the receiver field they were derived from
+	// (f, ok := x.base.(Fingerprinter) → fieldOf[f] = "base").
+	fieldOf := map[types.Object]string{}
+	var recvField func(e ast.Expr) (string, bool)
+	recvField = func(e ast.Expr) (string, bool) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && recvObj != nil && info.ObjectOf(id) == recvObj {
+				return x.Sel.Name, true
+			}
+		case *ast.TypeAssertExpr:
+			return recvField(x.X)
+		case *ast.Ident:
+			if f, ok := fieldOf[info.ObjectOf(x)]; ok {
+				return f, true
+			}
+		}
+		return "", false
+	}
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) && len(x.Rhs) != 1 {
+					break
+				}
+				rhs := x.Rhs[0]
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				}
+				// Track derived-field locals.
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					if f, ok := recvField(rhs); ok {
+						if obj := info.ObjectOf(id); obj != nil {
+							fieldOf[obj] = f
+						}
+					}
+				}
+				// spec.<Facet> = <expr>
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && cacheSpecFacets[sel.Sel.Name] {
+					if !isFalseIdent(rhs) {
+						decl.facets[sel.Sel.Name] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if n := namedType(info.Types[x].Type); n == nil || n.Obj().Name() != "CacheSpec" {
+				return true
+			}
+			st, ok := info.Types[x].Type.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok && !isFalseIdent(kv.Value) {
+						decl.facets[id.Name] = true
+					}
+					continue
+				}
+				if i < st.NumFields() && !isFalseIdent(elt) {
+					decl.facets[st.Field(i).Name()] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "CacheSpec" {
+				if f, ok := recvField(sel.X); ok {
+					decl.delegates[f] = true
+				}
+			}
+		}
+		return true
+	})
+	return decl
+}
+
+// isFalseIdent reports the literal identifier false.
+func isFalseIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "false"
+}

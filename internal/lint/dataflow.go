@@ -1,0 +1,799 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the dataflow walker behind the cacheread and
+// rngorder rules: an abstract interpreter over Route decision trees that
+// tracks where each value came from — the decision Context, its View,
+// its Rand, the current or destination node — through locals,
+// assignments, type assertions and module-local calls (context-sensitive
+// inlining with memoization on the argument-source signature).
+//
+// The abstraction mirrors the route cache's key argument (see
+// internal/routing/cache.go): the fingerprint always packs the
+// destination offset and arrival port, so values derived from BOTH the
+// current and the destination node (coordinate differences, node-id
+// equality) are key-covered by construction, while values derived from
+// ONE of them absolutely (a column parity, a destination class) need a
+// declared facet. View reads map to facets by method name. Paths that
+// end in panic are skipped: a panicking decision never produces a cache
+// entry, so its reads cannot desync one.
+
+// srcTag abstracts a value's provenance.
+type srcTag int
+
+const (
+	srcNone      srcTag = iota
+	srcRecv             // the algorithm receiver
+	srcDelegate         // a receiver field the CacheSpec derives from
+	srcCtx              // the *Context parameter
+	srcMesh             // ctx.Mesh
+	srcView             // ctx.View (and views asserted from it)
+	srcRand             // ctx.Rand
+	srcViewVal          // result of a facet-mapped View method call
+	srcCur              // ctx.Cur and node ids derived from it
+	srcDest             // ctx.Dest and node ids derived from it
+	srcCoordCur         // mesh coordinates of a srcCur node (and their fields)
+	srcCoordDest        // mesh coordinates of a srcDest node (and their fields)
+)
+
+func (t srcTag) String() string {
+	switch t {
+	case srcNone:
+		return "an untracked value"
+	case srcRecv:
+		return "the algorithm receiver"
+	case srcDelegate:
+		return "the delegated base algorithm"
+	case srcCtx:
+		return "the routing context"
+	case srcMesh:
+		return "the mesh"
+	case srcView:
+		return "the router view"
+	case srcRand:
+		return "the decision RNG"
+	case srcViewVal:
+		return "a view-derived value"
+	case srcCur:
+		return "the current node id"
+	case srcDest:
+		return "the destination node id"
+	case srcCoordCur:
+		return "the current node's coordinates"
+	case srcCoordDest:
+		return "the destination's coordinates"
+	}
+	return "an untracked value"
+}
+
+func isCoordTag(t srcTag) bool { return t == srcCoordCur || t == srcCoordDest }
+func isNodeTag(t srcTag) bool  { return t == srcCur || t == srcDest }
+
+// isRootTag reports tags that must not leak into unanalyzable calls.
+func isRootTag(t srcTag) bool {
+	switch t {
+	case srcCtx, srcView, srcRand, srcCoordCur, srcCoordDest, srcCur, srcDest:
+		return true
+	case srcNone, srcRecv, srcDelegate, srcMesh, srcViewVal:
+		return false
+	}
+	return false
+}
+
+// viewFacets maps View/AggregateView/BitsView method names to the
+// CacheSpec facet that keys their result. Names mapping to "" are
+// structural (VC count) and need no facet.
+var viewFacets = map[string]string{
+	"VCs":            "",
+	"VCIdle":         "Idle",
+	"IdleCount":      "Idle",
+	"IdleBits":       "Idle",
+	"VCOwner":        "Owner",
+	"OwnerBits":      "Owner",
+	"FootprintCount": "Owner",
+	"VCRegOwner":     "RegOwner",
+	"RegOwnerBits":   "RegOwner",
+	"DownstreamIdle": "Downstream",
+}
+
+// benignAlgMethods are Algorithm interface methods whose results are
+// fixed at construction: calling them on the delegated base reads no
+// per-decision state.
+var benignAlgMethods = map[string]bool{
+	"Name":                true,
+	"UsesEscape":          true,
+	"ConservativeRealloc": true,
+	"CacheSpec":           true,
+	"String":              true,
+}
+
+// facetUse is one facet requirement discovered in a Route tree.
+type facetUse struct {
+	facet string
+	pos   token.Pos
+	what  string
+}
+
+// routeWalker drives one root's traversal. Hooks are optional: cacheread
+// installs onFacet/onFinding, rngorder installs onDraw/onFinding.
+type routeWalker struct {
+	prog      *Program
+	delegates map[string]bool
+	onFacet   func(facetUse)
+	onFinding func(pos token.Pos, msg string)
+	onDraw    func(recv srcTag, pos token.Pos)
+	memo      map[string][]srcTag
+	active    map[string]bool
+}
+
+func newRouteWalker(prog *Program, delegates map[string]bool) *routeWalker {
+	if delegates == nil {
+		delegates = map[string]bool{}
+	}
+	return &routeWalker{
+		prog:      prog,
+		delegates: delegates,
+		memo:      map[string][]srcTag{},
+		active:    map[string]bool{},
+	}
+}
+
+func (w *routeWalker) facet(name string, pos token.Pos, what string) {
+	if w.onFacet != nil {
+		w.onFacet(facetUse{facet: name, pos: pos, what: what})
+	}
+}
+
+func (w *routeWalker) finding(pos token.Pos, msg string) {
+	if w.onFinding != nil {
+		w.onFinding(pos, msg)
+	}
+}
+
+// walkFunc interprets node with the receiver and parameters bound to the
+// given tags and returns the tags of its results. Memoized on
+// (function, binding signature); cycles yield untagged results.
+func (w *routeWalker) walkFunc(node *FuncNode, recvTag srcTag, argTags []srcTag) []srcTag {
+	sig := node.Obj.Type().(*types.Signature)
+	nres := sig.Results().Len()
+	key := bindingKey(node.Key, recvTag, argTags)
+	if res, ok := w.memo[key]; ok {
+		return res
+	}
+	if w.active[key] {
+		return make([]srcTag, nres)
+	}
+	w.active[key] = true
+	defer delete(w.active, key)
+
+	b := &bodyWalker{w: w, node: node, bind: map[types.Object]srcTag{}, results: make([]srcTag, nres)}
+	// Bind the receiver.
+	if fd := node.Decl; fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		if obj := node.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			b.bind[obj] = recvTag
+		}
+	}
+	// Bind parameters positionally; a variadic tail joins its extras.
+	i := 0
+	for _, field := range node.Decl.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 { // unnamed parameter still consumes a slot
+			i++
+			continue
+		}
+		for _, name := range names {
+			t := srcNone
+			if i < len(argTags) {
+				t = argTags[i]
+			}
+			if i == sig.Params().Len()-1 && sig.Variadic() {
+				for j := i; j < len(argTags); j++ {
+					t = joinTag(t, argTags[j])
+				}
+			}
+			if obj := node.Pkg.Info.Defs[name]; obj != nil {
+				b.bind[obj] = t
+			}
+			i++
+		}
+	}
+	b.stmt(node.Decl.Body)
+	// Naked returns read the named result variables.
+	w.memo[key] = b.results
+	return b.results
+}
+
+func bindingKey(funcKey string, recvTag srcTag, argTags []srcTag) string {
+	var sb strings.Builder
+	sb.WriteString(funcKey)
+	sb.WriteByte('#')
+	sb.WriteByte(byte('a' + recvTag))
+	for _, t := range argTags {
+		sb.WriteByte(byte('a' + t))
+	}
+	return sb.String()
+}
+
+func joinTag(a, b srcTag) srcTag {
+	switch {
+	case a == b:
+		return a
+	case a == srcNone:
+		return b
+	case b == srcNone:
+		return a
+	}
+	return srcNone
+}
+
+// bodyWalker interprets one function body under one binding.
+type bodyWalker struct {
+	w       *routeWalker
+	node    *FuncNode
+	bind    map[types.Object]srcTag
+	results []srcTag
+}
+
+func (b *bodyWalker) info() *types.Info { return b.node.Pkg.Info }
+
+func (b *bodyWalker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range x.List {
+			b.stmt(st)
+		}
+	case *ast.AssignStmt:
+		b.assign(x.Lhs, x.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					b.assign(lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		b.expr(x.X)
+	case *ast.IfStmt:
+		b.stmt(x.Init)
+		b.expr(x.Cond)
+		b.stmt(x.Body)
+		b.stmt(x.Else)
+	case *ast.SwitchStmt:
+		b.stmt(x.Init)
+		if x.Tag != nil {
+			b.expr(x.Tag)
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				b.expr(e)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		b.stmt(x.Init)
+		var t srcTag
+		switch a := x.Assign.(type) {
+		case *ast.AssignStmt:
+			if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				t = b.expr(ta.X)
+			}
+		case *ast.ExprStmt:
+			if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+				b.expr(ta.X)
+			}
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			if obj := b.info().Implicits[cc]; obj != nil {
+				b.bind[obj] = t
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+		}
+	case *ast.ForStmt:
+		b.stmt(x.Init)
+		if x.Cond != nil {
+			b.expr(x.Cond)
+		}
+		b.stmt(x.Post)
+		b.stmt(x.Body)
+	case *ast.RangeStmt:
+		b.expr(x.X)
+		b.bindLHS(x.Key, srcNone)
+		b.bindLHS(x.Value, srcNone)
+		b.stmt(x.Body)
+	case *ast.ReturnStmt:
+		if len(x.Results) == 0 {
+			// Naked return: read the named result variables.
+			sig := b.node.Obj.Type().(*types.Signature)
+			for i := 0; i < sig.Results().Len(); i++ {
+				if v := sig.Results().At(i); v != nil {
+					if t, ok := b.bind[v]; ok {
+						b.results[i] = joinTag(b.results[i], t)
+					}
+				}
+			}
+			return
+		}
+		if len(x.Results) == 1 && len(b.results) > 1 {
+			if call, ok := ast.Unparen(x.Results[0]).(*ast.CallExpr); ok {
+				for i, t := range b.call(call) {
+					if i < len(b.results) {
+						b.results[i] = joinTag(b.results[i], t)
+					}
+				}
+				return
+			}
+		}
+		for i, r := range x.Results {
+			if i < len(b.results) {
+				b.results[i] = joinTag(b.results[i], b.expr(r))
+			}
+		}
+	case *ast.IncDecStmt:
+		b.expr(x.X)
+	case *ast.SendStmt:
+		b.expr(x.Chan)
+		b.expr(x.Value)
+	case *ast.DeferStmt:
+		b.call(x.Call)
+	case *ast.GoStmt:
+		b.call(x.Call)
+	case *ast.LabeledStmt:
+		b.stmt(x.Stmt)
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			b.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+		}
+	}
+}
+
+// assign evaluates an assignment, propagating tags onto plain-identifier
+// targets. Multi-value forms (call, type assertion, comma-ok) spread the
+// result tags positionally.
+func (b *bodyWalker) assign(lhs, rhs []ast.Expr) {
+	switch {
+	case len(rhs) == 0:
+		for _, l := range lhs {
+			b.bindLHS(l, srcNone)
+		}
+	case len(lhs) == len(rhs):
+		tags := make([]srcTag, len(rhs))
+		for i, r := range rhs {
+			tags[i] = b.expr(r)
+		}
+		for i, l := range lhs {
+			b.bindLHS(l, tags[i])
+		}
+	case len(rhs) == 1:
+		var tags []srcTag
+		switch r := ast.Unparen(rhs[0]).(type) {
+		case *ast.CallExpr:
+			tags = b.call(r)
+		case *ast.TypeAssertExpr:
+			tags = []srcTag{b.expr(r.X), srcNone}
+		default:
+			tags = []srcTag{b.expr(rhs[0])}
+		}
+		for i, l := range lhs {
+			t := srcNone
+			if i < len(tags) {
+				t = tags[i]
+			}
+			b.bindLHS(l, t)
+		}
+	}
+}
+
+func (b *bodyWalker) bindLHS(l ast.Expr, t srcTag) {
+	if l == nil {
+		return
+	}
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok {
+		// Indexed/field targets keep their container's tag; evaluating
+		// the base catches tagged indices.
+		b.expr(l)
+		return
+	}
+	if id.Name == "_" {
+		return
+	}
+	if obj := b.info().ObjectOf(id); obj != nil {
+		b.bind[obj] = t
+	}
+}
+
+func (b *bodyWalker) expr(e ast.Expr) srcTag {
+	switch x := e.(type) {
+	case nil:
+		return srcNone
+	case *ast.Ident:
+		if obj := b.info().ObjectOf(x); obj != nil {
+			if t, ok := b.bind[obj]; ok {
+				return t
+			}
+		}
+		return srcNone
+	case *ast.ParenExpr:
+		return b.expr(x.X)
+	case *ast.StarExpr:
+		return b.expr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return b.expr(x.X)
+		}
+		b.expr(x.X)
+		return srcNone
+	case *ast.TypeAssertExpr:
+		return b.expr(x.X)
+	case *ast.SelectorExpr:
+		return b.selector(x)
+	case *ast.CallExpr:
+		res := b.call(x)
+		if len(res) > 0 {
+			return res[0]
+		}
+		return srcNone
+	case *ast.BinaryExpr:
+		return b.binary(x)
+	case *ast.IndexExpr:
+		b.expr(x.X)
+		if it := b.expr(x.Index); isNodeTag(it) || isCoordTag(it) {
+			b.w.finding(x.Index.Pos(), fmt.Sprintf(
+				"indexes by %s: absolute position is not part of the route-cache fingerprint", it))
+		}
+		return srcNone
+	case *ast.SliceExpr:
+		t := b.expr(x.X)
+		b.expr(x.Low)
+		b.expr(x.High)
+		b.expr(x.Max)
+		return t
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if t := b.expr(v); isRootTag(t) {
+				b.w.finding(v.Pos(), fmt.Sprintf(
+					"stores %s into a composite literal, escaping the dataflow analysis", t))
+			}
+		}
+		return srcNone
+	case *ast.FuncLit:
+		// Walk the closure body under the current binding; results are
+		// not propagated.
+		saved := b.results
+		b.results = make([]srcTag, 8)
+		b.stmt(x.Body)
+		b.results = saved
+		return srcNone
+	}
+	return srcNone
+}
+
+func (b *bodyWalker) selector(x *ast.SelectorExpr) srcTag {
+	bt := b.expr(x.X)
+	name := x.Sel.Name
+	switch bt {
+	case srcCtx:
+		switch name {
+		case "Mesh":
+			return srcMesh
+		case "View":
+			return srcView
+		case "Rand":
+			return srcRand
+		case "Cur":
+			return srcCur
+		case "Dest":
+			return srcDest
+		}
+		// InDir and any other scalar context field is packed into the
+		// key unconditionally.
+		return srcNone
+	case srcRecv:
+		if b.w.delegates[name] {
+			return srcDelegate
+		}
+		// Receiver fields are configuration fixed at construction
+		// (CacheSpec's contract: instances from one constructor are
+		// interchangeable).
+		return srcNone
+	case srcCoordCur, srcCoordDest:
+		// Coordinate struct fields (X, Y) keep their node's origin.
+		return bt
+	case srcNone, srcDelegate, srcMesh, srcView, srcRand, srcViewVal, srcCur, srcDest:
+		// No field selection on these yields tracked state; method calls
+		// on them route through methodCall instead.
+		return srcNone
+	}
+	return srcNone
+}
+
+// binary classifies arithmetic and comparisons over tagged operands
+// against the fingerprint key: cur-vs-dest combinations are offsets
+// (always keyed), parity masks need ColumnParity, other absolute
+// destination-coordinate expressions need DestClass, and absolute
+// current-position reads are inexpressible.
+func (b *bodyWalker) binary(x *ast.BinaryExpr) srcTag {
+	lt, rt := b.expr(x.X), b.expr(x.Y)
+	lc, rc := isCoordTag(lt), isCoordTag(rt)
+	switch {
+	case lc && rc:
+		if lt != rt {
+			return srcNone // cur-vs-dest coordinate arithmetic: the offset is always keyed
+		}
+		if lt == srcCoordDest {
+			b.w.facet("DestClass", x.Pos(), "absolute destination-coordinate expression")
+			return srcNone
+		}
+		b.w.finding(x.Pos(), "combines two absolute current-position coordinates; no fingerprint facet covers absolute position")
+		return srcNone
+	case lc || rc:
+		ct := lt
+		constSide := x.Y
+		if rc {
+			ct, constSide = rt, x.X
+		}
+		if b.isParityMask(x.Op, constSide) {
+			b.w.facet("ColumnParity", x.Pos(), "coordinate parity test")
+			return srcNone
+		}
+		if ct == srcCoordDest {
+			b.w.facet("DestClass", x.Pos(), "absolute destination-coordinate expression")
+			return srcNone
+		}
+		b.w.finding(x.Pos(), "reads the current node's absolute coordinate; only its parity (ColumnParity) is fingerprintable")
+		return srcNone
+	case isNodeTag(lt) && isNodeTag(rt):
+		return srcNone // node-id equality/offset between cur and dest is keyed
+	case isNodeTag(lt) && rt == srcViewVal, isNodeTag(rt) && lt == srcViewVal:
+		return srcNone // dest-sliced view comparisons are the facet's own semantics
+	case isNodeTag(lt) || isNodeTag(rt):
+		t := lt
+		if isNodeTag(rt) {
+			t = rt
+		}
+		b.w.finding(x.Pos(), fmt.Sprintf(
+			"combines %s with a value outside the fingerprint key", t))
+		return srcNone
+	}
+	return srcNone
+}
+
+// isParityMask reports whether op with the given constant operand is a
+// parity extraction (% 2 or & 1).
+func (b *bodyWalker) isParityMask(op token.Token, e ast.Expr) bool {
+	tv, ok := b.info().Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return false
+	}
+	return op == token.REM && v == 2 || op == token.AND && v == 1
+}
+
+// call interprets one call expression and returns its result tags.
+func (b *bodyWalker) call(x *ast.CallExpr) []srcTag {
+	info := b.info()
+	// Type conversions preserve provenance.
+	if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+		if len(x.Args) == 1 {
+			return []srcTag{b.expr(x.Args[0])}
+		}
+		return []srcTag{srcNone}
+	}
+	// Builtins: panic terminates the decision — a panicking path never
+	// produces a cache entry, so its reads cannot desync one.
+	if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			if id.Name != "panic" {
+				for _, a := range x.Args {
+					b.expr(a)
+				}
+			}
+			return []srcTag{srcNone}
+		}
+	}
+	fn := calleeFunc(info, x)
+	if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+		if info.Selections[sel] != nil {
+			return b.methodCall(x, sel, fn)
+		}
+	}
+	// Plain or package-qualified function call.
+	return b.staticCall(x, fn, srcNone)
+}
+
+// methodCall dispatches on the receiver's provenance.
+func (b *bodyWalker) methodCall(x *ast.CallExpr, sel *ast.SelectorExpr, fn *types.Func) []srcTag {
+	bt := b.expr(sel.X)
+	name := sel.Sel.Name
+
+	// The draw hook sees every Intn-shaped call regardless of receiver.
+	if fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isIntnShaped(fn, sig) {
+			if b.w.onDraw != nil {
+				b.w.onDraw(bt, x.Pos())
+			}
+			for _, a := range x.Args {
+				b.expr(a)
+			}
+			return []srcTag{srcNone}
+		}
+	}
+
+	switch bt {
+	case srcView:
+		facet, known := viewFacets[name]
+		if !known {
+			b.w.finding(x.Pos(), fmt.Sprintf(
+				"calls unrecognized view method %s; the fingerprint cannot account for it", name))
+		} else if facet != "" {
+			b.w.facet(facet, x.Pos(), "view method "+name)
+		}
+		for _, a := range x.Args {
+			b.expr(a) // node-id arguments select the facet's dest slice
+		}
+		if !known || facet == "" {
+			return []srcTag{srcNone, srcNone, srcNone, srcNone}
+		}
+		return []srcTag{srcViewVal, srcViewVal, srcViewVal, srcViewVal}
+	case srcMesh:
+		return b.meshCall(x, name)
+	case srcRand:
+		// Non-Intn Rand methods do not exist on the seam; treat any as a
+		// draw-shaped escape.
+		b.w.finding(x.Pos(), fmt.Sprintf("calls %s on the decision RNG outside the Intn seam", name))
+		return []srcTag{srcNone}
+	case srcDelegate:
+		if name == "Route" {
+			for _, a := range x.Args {
+				b.expr(a)
+			}
+			return []srcTag{srcNone}
+		}
+		if benignAlgMethods[name] {
+			return []srcTag{srcNone, srcNone}
+		}
+		b.w.finding(x.Pos(), fmt.Sprintf(
+			"calls %s on the delegated base algorithm; fingerprint derivation only covers its Route", name))
+		return []srcTag{srcNone}
+	case srcNone, srcRecv, srcCtx, srcViewVal, srcCur, srcDest, srcCoordCur, srcCoordDest:
+		return b.staticCall(x, fn, bt)
+	}
+	return b.staticCall(x, fn, bt)
+}
+
+// meshCall models the topology intrinsics: everything the mesh derives
+// from a cur/dest pair is offset arithmetic, and Coord lifts a node id
+// into its (absolute) coordinates.
+func (b *bodyWalker) meshCall(x *ast.CallExpr, name string) []srcTag {
+	argTag := func(i int) srcTag {
+		if i < len(x.Args) {
+			return b.expr(x.Args[i])
+		}
+		return srcNone
+	}
+	switch name {
+	case "Coord":
+		switch argTag(0) {
+		case srcCur:
+			return []srcTag{srcCoordCur}
+		case srcDest:
+			return []srcTag{srcCoordDest}
+		case srcNone, srcRecv, srcDelegate, srcCtx, srcMesh, srcView, srcRand, srcViewVal, srcCoordCur, srcCoordDest:
+			return []srcTag{srcNone}
+		}
+		return []srcTag{srcNone}
+	case "Neighbor":
+		t0 := argTag(0)
+		argTag(1)
+		return []srcTag{t0, srcNone}
+	case "MinimalDirs", "Hops", "MinimalPathCount":
+		argTag(0)
+		argTag(1)
+		return []srcTag{srcNone, srcNone, srcNone, srcNone}
+	case "Nodes", "Node", "Contains":
+		for _, a := range x.Args {
+			b.expr(a)
+		}
+		return []srcTag{srcNone}
+	}
+	b.w.finding(x.Pos(), fmt.Sprintf(
+		"calls unrecognized mesh method %s; the fingerprint cannot account for it", name))
+	return []srcTag{srcNone}
+}
+
+// staticCall follows a module-local call with bound argument tags, or
+// conservatively flags root values escaping into unanalyzable code.
+func (b *bodyWalker) staticCall(x *ast.CallExpr, fn *types.Func, recvTag srcTag) []srcTag {
+	argTags := make([]srcTag, len(x.Args))
+	for i, a := range x.Args {
+		argTags[i] = b.expr(a)
+	}
+	if fn != nil {
+		if node := b.w.prog.Funcs[funcKeyOf(fn)]; node != nil {
+			return b.w.walkFunc(node, recvTag, argTags)
+		}
+	}
+	for i, t := range argTags {
+		if isRootTag(t) {
+			b.w.finding(x.Args[i].Pos(), fmt.Sprintf(
+				"passes %s to a call the analysis cannot follow", t))
+		}
+	}
+	if isRootTag(recvTag) && recvTag != srcRecv {
+		b.w.finding(x.Pos(), fmt.Sprintf(
+			"calls a method on %s that the analysis cannot follow", recvTag))
+	}
+	return []srcTag{srcNone, srcNone, srcNone, srcNone}
+}
+
+// contextParamIndex returns the index of the first parameter whose type
+// is (a pointer to) a struct named Context, or -1.
+func contextParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if n := namedType(sig.Params().At(i).Type()); n != nil && n.Obj().Name() == "Context" {
+			if _, ok := n.Underlying().(*types.Struct); ok {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// routeRoots finds every method named Route taking a Context parameter —
+// the entry points of the routing decision trees.
+func routeRoots(prog *Program) []*FuncNode {
+	var roots []*FuncNode
+	for _, node := range prog.Funcs {
+		if node.Decl.Name.Name != "Route" || node.Decl.Recv == nil {
+			continue
+		}
+		sig := node.Obj.Type().(*types.Signature)
+		if sig.Recv() == nil || contextParamIndex(sig) < 0 {
+			continue
+		}
+		roots = append(roots, node)
+	}
+	return roots
+}
+
+// walkRoute binds a Route root (receiver, Context parameter) and walks
+// it with the given walker.
+func walkRoute(w *routeWalker, node *FuncNode) {
+	sig := node.Obj.Type().(*types.Signature)
+	argTags := make([]srcTag, sig.Params().Len())
+	if i := contextParamIndex(sig); i >= 0 {
+		argTags[i] = srcCtx
+	}
+	w.walkFunc(node, srcRecv, argTags)
+}

@@ -77,6 +77,9 @@ func runDeterminism(p *Package) []Finding {
 				case "Now", "Since", "Until":
 					out = append(out, finding(p, call.Pos(), "determinism",
 						"time."+fn.Name()+" reads the wall clock in a deterministic simulation path"))
+				case "NewTimer", "NewTicker", "Tick", "After", "AfterFunc", "Sleep":
+					out = append(out, finding(p, call.Pos(), "determinism",
+						"time."+fn.Name()+" schedules on the wall clock; simulation time advances only through the cycle loop"))
 				}
 			case "math/rand", "math/rand/v2":
 				if !mathRandConstructors[fn.Name()] {

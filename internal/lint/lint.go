@@ -75,6 +75,9 @@ func knownRules() map[string]bool {
 	for _, a := range Analyzers() {
 		m[a.Name] = true
 	}
+	for _, a := range ProgramAnalyzers() {
+		m[a.Name] = true
+	}
 	return m
 }
 
@@ -129,14 +132,13 @@ func NewLoader() *Loader {
 	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
 }
 
-// Load parses the non-test Go files of dir and type-checks them as
-// import path asPath. Type errors are returned as findings (rule
-// "typecheck") rather than aborting, so a partially broken tree still
-// gets the rest of its report.
-func (l *Loader) Load(dir, asPath string) (*Package, []Finding, error) {
+// Parse reads the non-test Go files of dir into a Package with syntax
+// only — no type information. Enough for the suppression scanner; the
+// analyzers need a full Load.
+func (l *Loader) Parse(dir, asPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var files []*ast.File
 	for _, e := range entries {
@@ -146,12 +148,24 @@ func (l *Loader) Load(dir, asPath string) (*Package, []Finding, error) {
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return &Package{Path: asPath, Fset: l.fset, Files: files}, nil
+}
+
+// Load parses the non-test Go files of dir and type-checks them as
+// import path asPath. Type errors are returned as findings (rule
+// "typecheck") rather than aborting, so a partially broken tree still
+// gets the rest of its report.
+func (l *Loader) Load(dir, asPath string) (*Package, []Finding, error) {
+	p, err := l.Parse(dir, asPath)
+	if err != nil {
+		return nil, nil, err
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -170,24 +184,49 @@ func (l *Loader) Load(dir, asPath string) (*Package, []Finding, error) {
 			}
 		},
 	}
-	pkg, _ := conf.Check(asPath, l.fset, files, info)
-	return &Package{Path: asPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, tfs, nil
+	pkg, _ := conf.Check(asPath, l.fset, p.Files, info)
+	p.Pkg, p.Info = pkg, info
+	return p, tfs, nil
 }
 
 // Check runs every applicable analyzer on p and returns the surviving
-// findings after suppression filtering, sorted.
+// findings after suppression filtering, sorted. Single-package
+// convenience over CheckAll: interprocedural rules see only p, so
+// obligations normally discharged in another package may surface.
 func Check(p *Package) []Finding {
-	var out []Finding
-	for _, a := range Analyzers() {
-		if !a.Applies(p.Path) {
-			continue
+	active, _ := CheckAll([]*Package{p})
+	return active
+}
+
+// CheckAll runs the whole suite — per-package analyzers on each package,
+// then the interprocedural ProgramAnalyzers over all of them at once —
+// and splits the results into active findings (including malformed
+// suppressions) and findings waived by //noclint:allow comments. Both
+// slices come back sorted.
+func CheckAll(pkgs []*Package) (active, waived []Finding) {
+	var raw []Finding
+	var allows []allowance
+	var bad []Finding
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			if !a.Applies(p.Path) {
+				continue
+			}
+			raw = append(raw, a.Run(p)...)
 		}
-		out = append(out, a.Run(p)...)
+		as, b := collectAllowances(p)
+		allows = append(allows, as...)
+		bad = append(bad, b...)
 	}
-	kept, bad := applySuppressions(p, out)
-	out = append(kept, bad...)
-	SortFindings(out)
-	return out
+	prog := BuildProgram(pkgs)
+	for _, a := range ProgramAnalyzers() {
+		raw = append(raw, a.Run(prog)...)
+	}
+	active, waived = filterWaived(raw, allows)
+	active = append(active, bad...)
+	SortFindings(active)
+	SortFindings(waived)
+	return active, waived
 }
 
 // ModuleRoot walks up from dir to the enclosing go.mod.

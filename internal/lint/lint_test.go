@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -20,6 +21,10 @@ var fixtureCases = []struct {
 	{"maporder", "nocsim/internal/lint/fixture"},
 	{"routepurity", "nocsim/internal/routing/fixture"},
 	{"seedident", "nocsim/internal/sim/fixture"},
+	{"arenaescape", "nocsim/internal/flit/fixture"},
+	{"cacheread", "nocsim/internal/routing/fixture"},
+	{"rngorder", "nocsim/internal/routing/fixture"},
+	{"sinkcap", "nocsim/internal/router/fixture"},
 }
 
 // checkFixture loads one fixture package and returns its findings for
@@ -126,11 +131,170 @@ func TestMainExitCodes(t *testing.T) {
 	}
 }
 
-// TestRepositoryClean runs the full suite over the module tip — the tree
-// must stay noclint-clean, so CI failures reproduce locally as a test.
+// loadModule type-checks every package in the module with one shared
+// loader, failing the test on load errors.
+func loadModule(t testing.TB) []*Package {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	var pkgs []*Package
+	for _, rel := range rels {
+		p, tfs, err := l.Load(filepath.Join(root, rel), importPathFor(rel))
+		if err != nil {
+			t.Fatalf("load %s: %v", rel, err)
+		}
+		for _, f := range tfs {
+			t.Errorf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs
+}
+
+// TestMainJSON drives -json: machine-readable findings on a bad
+// fixture, and suppressed findings surfaced (but not counted) on the
+// allowed fixture.
+func TestMainJSON(t *testing.T) {
+	type jf struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Rule       string `json:"rule"`
+		Msg        string `json:"msg"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-json", "-pkgpath", "nocsim/internal/sim/fixture", "testdata/determinism/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("bad fixture: exit %d (stderr %q), want 1", code, stderr.String())
+	}
+	var got []jf
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(got) == 0 {
+		t.Fatal("bad fixture: empty JSON findings")
+	}
+	for _, f := range got {
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Msg == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+		if f.Suppressed {
+			t.Errorf("bad fixture has no suppressions, but %+v is marked suppressed", f)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = Main([]string{"-json", "-pkgpath", "nocsim/internal/sim/fixture", "testdata/determinism/allowed"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("allowed fixture: exit %d (stdout %q), want 0", code, stdout.String())
+	}
+	got = nil
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	suppressed := 0
+	for _, f := range got {
+		if !f.Suppressed {
+			t.Errorf("allowed fixture: active finding leaked into exit-0 run: %+v", f)
+		} else {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("allowed fixture: waived findings missing from -json output")
+	}
+}
+
+// TestMainWaivers drives -waivers: every //noclint:allow in the target
+// comes back as "file:line: rule: reason" without type-checking.
+func TestMainWaivers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-waivers", "-pkgpath", "nocsim/internal/sim/fixture", "testdata/determinism/allowed"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d (stderr %q), want 0", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no waivers reported for the allowed fixture")
+	}
+	waiverLine := regexp.MustCompile(`^[^:]+\.go:\d+: [a-z]+: .+$`)
+	for _, line := range lines {
+		if !waiverLine.MatchString(line) {
+			t.Errorf("waiver line %q does not match file:line: rule: reason", line)
+		}
+	}
+}
+
+// TestCacheReadCoversFingerprinters guards cacheread against silently
+// verifying nothing: every algorithm that opts into the route cache
+// must be discovered as a proof root. A new Fingerprinter joins the
+// list by being found; one that stops being found (renamed method,
+// changed signature) fails here instead of passing vacuously.
+func TestCacheReadCoversFingerprinters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking internal/routing is slow")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader()
+	p, tfs, err := l.Load(filepath.Join(root, "internal", "routing"), "nocsim/internal/routing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tfs {
+		t.Fatalf("internal/routing does not type-check: %s: %s", f.Pos, f.Msg)
+	}
+	var got []string
+	for _, r := range cacheSpecRoots(BuildProgram([]*Package{p})) {
+		got = append(got, routeOwner(r.route))
+	}
+	sort.Strings(got)
+	want := []string{
+		"(*DBAR).Route",
+		"(*DOR).Route",
+		"(*Footprint).Route",
+		"(*OddEven).Route",
+		"(*VOQSW).Route",
+		"(*XORDET).Route",
+	}
+	if !slicesEqual(got, want) {
+		t.Errorf("cacheread proof roots = %q, want %q", got, want)
+	}
+}
+
+// TestRepositoryClean runs the full suite — all per-package rules plus
+// the interprocedural program rules — over the module tip. The tree must
+// stay noclint-clean, so CI failures reproduce locally as a test.
 func TestRepositoryClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checking the whole module is slow")
+	}
+	active, _ := CheckAll(loadModule(t))
+	for _, f := range active {
+		t.Errorf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+	}
+}
+
+// TestWaiverBudget pins the module's //noclint:allow inventory: every
+// waiver in the tree must be on this list, so adding one is a conscious,
+// reviewed act rather than drift.
+func TestWaiverBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parsing the whole module is slow enough to skip in -short")
+	}
+	want := []string{
+		"internal/prof/prof.go: determinism",
 	}
 	root, err := ModuleRoot(".")
 	if err != nil {
@@ -141,13 +305,52 @@ func TestRepositoryClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	l := NewLoader()
+	var got []string
 	for _, rel := range rels {
-		p, tfs, err := l.Load(filepath.Join(root, rel), importPathFor(rel))
+		p, err := l.Parse(filepath.Join(root, rel), importPathFor(rel))
 		if err != nil {
-			t.Fatalf("load %s: %v", rel, err)
+			t.Fatalf("parse %s: %v", rel, err)
 		}
-		for _, f := range append(tfs, Check(p)...) {
-			t.Errorf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+		allows, bad := collectAllowances(p)
+		for _, f := range bad {
+			t.Errorf("malformed suppression: %s: %s", f.Pos, f.Msg)
+		}
+		for _, a := range allows {
+			relFile, err := filepath.Rel(root, a.file)
+			if err != nil {
+				relFile = a.file
+			}
+			got = append(got, filepath.ToSlash(relFile)+": "+a.rule)
+		}
+	}
+	sort.Strings(got)
+	if !slicesEqual(got, want) {
+		t.Errorf("waiver inventory drifted:\n got  %q\n want %q\nupdate the golden only with a reviewed justification", got, want)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkNoclintFullModule measures one whole-suite pass over the
+// already-loaded module — the marginal cost of the rules themselves,
+// excluding parsing and type-checking.
+func BenchmarkNoclintFullModule(b *testing.B) {
+	pkgs := loadModule(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		active, _ := CheckAll(pkgs)
+		if len(active) != 0 {
+			b.Fatalf("module not clean: %v", active[0])
 		}
 	}
 }

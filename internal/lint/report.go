@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -65,6 +66,19 @@ func WriteFindings(w io.Writer, fs []Finding, base string) {
 	}
 }
 
+// jsonFinding is one finding in -json output. Waived findings are
+// included with Suppressed true so tooling can audit what the
+// //noclint:allow comments are absorbing; only unsuppressed findings
+// count toward the exit code.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Msg        string `json:"msg"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 // Main is the noclint entry point: it lints the packages named by the
 // patterns (directories, or ./... for the whole module) and returns the
 // process exit code — 0 clean, 1 findings, 2 usage or load failure.
@@ -73,8 +87,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fl.SetOutput(stderr)
 	pkgPath := fl.String("pkgpath", "", "lint a single directory under this synthetic import path (fixture mode)")
 	list := fl.Bool("rules", false, "list the rule suite and exit")
+	asJSON := fl.Bool("json", false, "emit findings as a JSON array (suppressed findings included)")
+	waivers := fl.Bool("waivers", false, "list every //noclint:allow comment with its rule and reason, then exit")
 	fl.Usage = func() {
-		fmt.Fprintf(stderr, "usage: noclint [-pkgpath path] [-rules] ./...\n")
+		fmt.Fprintf(stderr, "usage: noclint [-pkgpath path] [-rules] [-json] [-waivers] ./...\n")
 		fl.PrintDefaults()
 	}
 	if err := fl.Parse(args); err != nil {
@@ -82,6 +98,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range ProgramAnalyzers() {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
@@ -135,20 +154,100 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 
 	loader := NewLoader()
-	var all []Finding
+
+	// -waivers needs only syntax: parse each target and list its
+	// suppression comments, without paying for type-checking the module.
+	if *waivers {
+		var allows []allowance
+		var bad []Finding
+		for _, t := range targets {
+			p, err := loader.Parse(t.dir, t.path)
+			if err != nil {
+				fmt.Fprintln(stderr, "noclint:", err)
+				return 2
+			}
+			as, b := collectAllowances(p)
+			allows = append(allows, as...)
+			bad = append(bad, b...)
+		}
+		sort.Slice(allows, func(i, j int) bool {
+			a, b := allows[i], allows[j]
+			if a.file != b.file {
+				return a.file < b.file
+			}
+			if a.line != b.line {
+				return a.line < b.line
+			}
+			return a.rule < b.rule
+		})
+		for _, a := range allows {
+			name := a.file
+			if rel, err := filepath.Rel(root, name); err == nil && !filepath.IsAbs(rel) && !escapesRoot(rel) {
+				name = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", name, a.line, a.rule, a.reason)
+		}
+		if len(bad) > 0 {
+			SortFindings(bad)
+			WriteFindings(stderr, bad, root)
+			return 1
+		}
+		return 0
+	}
+
+	var pkgs []*Package
+	var typecheckFindings []Finding
 	for _, t := range targets {
 		p, tfs, err := loader.Load(t.dir, t.path)
 		if err != nil {
 			fmt.Fprintln(stderr, "noclint:", err)
 			return 2
 		}
-		all = append(all, tfs...)
-		all = append(all, Check(p)...)
+		typecheckFindings = append(typecheckFindings, tfs...)
+		pkgs = append(pkgs, p)
 	}
-	SortFindings(all)
-	WriteFindings(stdout, all, root)
-	if len(all) > 0 {
-		fmt.Fprintf(stderr, "noclint: %d finding(s)\n", len(all))
+	active, waived := CheckAll(pkgs)
+	active = append(active, typecheckFindings...)
+	SortFindings(active)
+
+	if *asJSON {
+		relName := func(name string) string {
+			if rel, err := filepath.Rel(root, name); err == nil && !filepath.IsAbs(rel) && !escapesRoot(rel) {
+				return rel
+			}
+			return name
+		}
+		out := make([]jsonFinding, 0, len(active)+len(waived))
+		for _, f := range active {
+			out = append(out, jsonFinding{File: relName(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column, Rule: f.Rule, Msg: f.Msg})
+		}
+		for _, f := range waived {
+			out = append(out, jsonFinding{File: relName(f.Pos.Filename), Line: f.Pos.Line, Col: f.Pos.Column, Rule: f.Rule, Msg: f.Msg, Suppressed: true})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Rule != b.Rule {
+				return a.Rule < b.Rule
+			}
+			return a.Msg < b.Msg
+		})
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "noclint:", err)
+			return 2
+		}
+	} else {
+		WriteFindings(stdout, active, root)
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(stderr, "noclint: %d finding(s)\n", len(active))
 		return 1
 	}
 	return 0

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/token"
+)
+
+// analyzeRNGOrder guards the route cache's RNG-exact replay seam. The
+// cache records how many tie-break draws a computed decision consumed
+// from ctx.Rand and replays exactly that many on every hit, keeping the
+// shared per-router RNG stream bit-identical with caching on or off
+// (see internal/routing/cache.go). That accounting only sees draws that
+// flow through ctx.Rand: a draw on any other generator reachable from a
+// Route tree — an algorithm-owned *rand.Rand field, a local source —
+// would be invisible to the recorder, so a cache hit would skip it and
+// silently desync every later draw in the run.
+//
+// The rule walks every Route method (the routing-pipeline entry points,
+// identified by name and a Context parameter) in the deterministic
+// roots, following module-local calls with context-sensitive argument
+// binding, and requires the receiver of every Intn-shaped draw to trace
+// back to the Context's Rand field. The determinism rule separately
+// forbids global math/rand state; this rule closes the per-instance
+// gap.
+var analyzeRNGOrder = &ProgramAnalyzer{
+	Name: "rngorder",
+	Doc:  "every Rand draw reachable from a Route tree flows through ctx.Rand (the cache's record/replay seam)",
+	Run:  runRNGOrder,
+}
+
+func runRNGOrder(prog *Program) []Finding {
+	var out []Finding
+	roots := routeRoots(prog)
+	// Deterministic order across the map-ordered function index.
+	sortFuncNodes(roots)
+	for _, root := range roots {
+		if !underAny(root.Pkg.Path, deterministicRoots) {
+			continue
+		}
+		w := newRouteWalker(prog, nil)
+		owner := routeOwner(root)
+		w.onDraw = func(recv srcTag, pos token.Pos) {
+			if recv == srcRand {
+				return
+			}
+			out = append(out, Finding{Pos: prog.position(pos), Rule: "rngorder",
+				Msg: "Intn draw reachable from " + owner + " does not come from ctx.Rand; " +
+					"the route cache records and replays only ctx.Rand draws, so this draw would desync replay"})
+		}
+		walkRoute(w, root)
+	}
+	return out
+}
+
+// sortFuncNodes orders nodes by source position for stable reports.
+func sortFuncNodes(nodes []*FuncNode) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Decl.Pos() < nodes[j-1].Decl.Pos(); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}

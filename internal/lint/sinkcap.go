@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// analyzeSinkCap enforces the metrics capability seam. MetricsSink
+// implementations advertise what they can absorb (WantPacketEvents,
+// WantRouteDecisions) and the hot path consults those answers — cached
+// in fields like wantEvents — before paying for event construction.
+// A sink method invoked outside its capability guard either crashes on
+// a nil sink or silently re-introduces the per-event allocation cost the
+// seam exists to avoid, and nothing at runtime would notice: sinks that
+// answer true still see every event.
+//
+// The rule requires every MetricsSink method call to be dominated by an
+// if-statement testing the matching capability — either a direct Want*
+// call or a variable assigned from one. The check is interprocedural: a
+// function making an unguarded sink call simply passes the obligation to
+// its callers (emitDecision's OnRouteDecision is discharged by the
+// wantDecisions guard at its call site); only an obligation that escapes
+// the module's static call graph unguarded is a finding, reported at the
+// original sink call. Methods of types that themselves implement
+// MetricsSink (fan-out tees, no-op sinks) are the seam's plumbing and
+// are exempt. OnVCAllocFailure is exempt by documented design: it is the
+// one always-on event, gated only by the nil check.
+var analyzeSinkCap = &ProgramAnalyzer{
+	Name: "sinkcap",
+	Doc:  "every MetricsSink method call is dominated by its capability check",
+	Run:  runSinkCap,
+}
+
+// sinkCapability maps each guarded MetricsSink method to the capability
+// that must dominate it. OnVCAllocFailure is deliberately absent.
+var sinkCapability = map[string]string{
+	"OnInject":        "WantPacketEvents",
+	"OnRoute":         "WantPacketEvents",
+	"OnVCAllocGrant":  "WantPacketEvents",
+	"OnHeadTraverse":  "WantPacketEvents",
+	"OnEject":         "WantPacketEvents",
+	"OnRouteDecision": "WantRouteDecisions",
+}
+
+// sinkObligation is one unguarded sink call propagating up the call
+// graph until some call site guards it.
+type sinkObligation struct {
+	cap string
+	pos token.Pos
+}
+
+func runSinkCap(prog *Program) []Finding {
+	ifaces := sinkInterfaces(prog)
+	if len(ifaces) == 0 {
+		return nil
+	}
+	implementsSink := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if n := namedType(t); n != nil && n.Obj().Name() == "MetricsSink" {
+			return true
+		}
+		for _, iface := range ifaces {
+			if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+				return true
+			}
+		}
+		return false
+	}
+
+	capVars := capabilityVars(prog)
+
+	// guarded reports whether an ancestor if-statement whose then-branch
+	// contains the node tests cap: a direct Want* call in the condition,
+	// or a variable assigned from one.
+	guarded := func(p *Package, stack []ast.Node, capName string) bool {
+		for i, n := range stack {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || i+1 >= len(stack) || stack[i+1] != ast.Node(ifs.Body) {
+				continue
+			}
+			hit := false
+			ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+				switch x := c.(type) {
+				case *ast.CallExpr:
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == capName {
+						hit = true
+					}
+				case *ast.Ident:
+					if obj := p.Info.ObjectOf(x); obj != nil && capVars[capName][obj] {
+						hit = true
+					}
+				}
+				return !hit
+			})
+			if hit {
+				return true
+			}
+		}
+		return false
+	}
+
+	type callSite struct {
+		callee  string
+		guards  map[string]bool // capabilities guarded at this site
+		present bool
+	}
+	type funcFacts struct {
+		own   []sinkObligation // unguarded sink calls in this body
+		sites []callSite       // static module-local call sites
+	}
+	facts := map[string]*funcFacts{}
+	callers := map[string]int{} // static in-degree within the module
+
+	for _, node := range prog.Funcs {
+		if !inModule(node.Pkg.Path) {
+			continue
+		}
+		if sig, ok := node.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if implementsSink(sig.Recv().Type()) {
+				continue // sink plumbing: tees, no-op sinks
+			}
+		}
+		ff := &funcFacts{}
+		walkNodeWithStack(node.Decl.Body, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if capName, isSink := sinkCapability[sel.Sel.Name]; isSink {
+					if tv, ok := node.Pkg.Info.Types[sel.X]; ok && implementsSink(tv.Type) {
+						if !guarded(node.Pkg, stack, capName) {
+							ff.own = append(ff.own, sinkObligation{cap: capName, pos: sel.Sel.Pos()})
+						}
+						return
+					}
+				}
+			}
+			if callee := prog.callee(node.Pkg, call); callee != nil && callee.Key != node.Key {
+				cs := callSite{callee: callee.Key, guards: map[string]bool{}, present: true}
+				for capName := range capVars {
+					if guarded(node.Pkg, stack, capName) {
+						cs.guards[capName] = true
+					}
+				}
+				ff.sites = append(ff.sites, cs)
+				callers[callee.Key]++
+			}
+		})
+		facts[node.Key] = ff
+	}
+
+	// Fixed point by memoized DFS: a function's unmet obligations are its
+	// own unguarded sink calls plus callees' obligations not guarded at
+	// the call site.
+	memo := map[string][]sinkObligation{}
+	active := map[string]bool{}
+	var obligations func(key string) []sinkObligation
+	obligations = func(key string) []sinkObligation {
+		if o, ok := memo[key]; ok {
+			return o
+		}
+		if active[key] {
+			return nil
+		}
+		active[key] = true
+		defer delete(active, key)
+		ff := facts[key]
+		if ff == nil {
+			return nil
+		}
+		out := append([]sinkObligation(nil), ff.own...)
+		for _, cs := range ff.sites {
+			for _, ob := range obligations(cs.callee) {
+				if !cs.guards[ob.cap] {
+					out = append(out, ob)
+				}
+			}
+		}
+		memo[key] = out
+		return out
+	}
+
+	// An obligation still unmet at a function nothing in the module calls
+	// has escaped every chance of being guarded.
+	seen := map[token.Pos]bool{}
+	var findings []Finding
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if callers[key] > 0 {
+			continue
+		}
+		for _, ob := range obligations(key) {
+			if seen[ob.pos] {
+				continue
+			}
+			seen[ob.pos] = true
+			findings = append(findings, Finding{Pos: prog.position(ob.pos), Rule: "sinkcap",
+				Msg: fmt.Sprintf("MetricsSink call is not dominated by a %s capability check on any path reaching it", ob.cap)})
+		}
+	}
+	return findings
+}
+
+// sinkInterfaces collects every interface named MetricsSink declaring
+// both capability methods, from the program's packages and their
+// imports. Multiple structurally-identical copies exist because each
+// target package is type-checked separately; Implements is structural,
+// so checking against each copy is redundant but harmless.
+func sinkInterfaces(prog *Program) []*types.Interface {
+	var out []*types.Interface
+	add := func(pkg *types.Package) {
+		if pkg == nil || !inModule(pkg.Path()) {
+			return
+		}
+		tn, ok := pkg.Scope().Lookup("MetricsSink").(*types.TypeName)
+		if !ok {
+			return
+		}
+		iface, ok := tn.Type().Underlying().(*types.Interface)
+		if !ok {
+			return
+		}
+		hasEvents, hasDecisions := false, false
+		for i := 0; i < iface.NumMethods(); i++ {
+			switch iface.Method(i).Name() {
+			case "WantPacketEvents":
+				hasEvents = true
+			case "WantRouteDecisions":
+				hasDecisions = true
+			}
+		}
+		if hasEvents && hasDecisions {
+			out = append(out, iface)
+		}
+	}
+	for _, p := range prog.Packages {
+		add(p.Pkg)
+		if p.Pkg != nil {
+			for _, imp := range p.Pkg.Imports() {
+				add(imp)
+			}
+		}
+	}
+	return out
+}
+
+// capabilityVars finds every variable (including struct fields) assigned
+// from an expression that calls a capability method — the cached-answer
+// pattern `r.wantEvents = m != nil && m.WantPacketEvents()`.
+func capabilityVars(prog *Program) map[string]map[types.Object]bool {
+	vars := map[string]map[types.Object]bool{
+		"WantPacketEvents":   {},
+		"WantRouteDecisions": {},
+	}
+	for _, p := range prog.Packages {
+		if !inModule(p.Path) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					var rhs ast.Expr
+					switch {
+					case len(as.Rhs) == len(as.Lhs):
+						rhs = as.Rhs[i]
+					case len(as.Rhs) == 1:
+						rhs = as.Rhs[0]
+					default:
+						continue
+					}
+					capName := capabilityCallIn(rhs)
+					if capName == "" {
+						continue
+					}
+					var obj types.Object
+					switch x := ast.Unparen(lhs).(type) {
+					case *ast.Ident:
+						obj = p.Info.ObjectOf(x)
+					case *ast.SelectorExpr:
+						obj = p.Info.ObjectOf(x.Sel)
+					}
+					if obj != nil {
+						vars[capName][obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return vars
+}
+
+// capabilityCallIn reports the capability method called anywhere inside
+// e, or "".
+func capabilityCallIn(e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "WantPacketEvents", "WantRouteDecisions":
+				found = sel.Sel.Name
+			}
+		}
+		return found == ""
+	})
+	return found
+}
+
+// walkNodeWithStack is walkWithStack over an arbitrary subtree.
+func walkNodeWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -63,10 +63,18 @@ func collectAllowances(p *Package) ([]allowance, []Finding) {
 // returns the survivors plus the findings for malformed suppressions.
 func applySuppressions(p *Package, fs []Finding) (kept, bad []Finding) {
 	allows, bad := collectAllowances(p)
+	kept, _ = filterWaived(fs, allows)
+	return kept, bad
+}
+
+// filterWaived splits findings into survivors and those waived by a
+// matching allowance (same rule, same file, comment on the finding's
+// line or the line above).
+func filterWaived(fs []Finding, allows []allowance) (kept, waived []Finding) {
 	if len(allows) == 0 {
-		return fs, bad
+		return fs, nil
 	}
-	waived := func(f Finding) bool {
+	isWaived := func(f Finding) bool {
 		for _, a := range allows {
 			if a.rule == f.Rule && a.file == f.Pos.Filename &&
 				(a.line == f.Pos.Line || a.line == f.Pos.Line-1) {
@@ -75,13 +83,14 @@ func applySuppressions(p *Package, fs []Finding) (kept, bad []Finding) {
 		}
 		return false
 	}
-	kept = fs[:0]
 	for _, f := range fs {
-		if !waived(f) {
+		if isWaived(f) {
+			waived = append(waived, f)
+		} else {
 			kept = append(kept, f)
 		}
 	}
-	return kept, bad
+	return kept, waived
 }
 
 // nodeLine returns the 1-based line of a node's position.

@@ -1,0 +1,44 @@
+// The bad fixture's violations, each carrying a suppression with a
+// recorded reason. noclint must honor every waiver.
+package fixture
+
+// Flit mirrors the arena's flit record.
+type Flit struct{ ID int }
+
+// Packet mirrors the arena's packet record.
+type Packet struct{ ID int }
+
+// Handle mirrors the generation-tagged arena handle.
+type Handle uint64
+
+// Arena mirrors the run-scoped allocator by shape.
+type Arena struct{ flits []Flit }
+
+// NewFlit hands out a flit and its handle.
+func (a *Arena) NewFlit() (*Flit, Handle) {
+	a.flits = append(a.flits, Flit{})
+	return &a.flits[len(a.flits)-1], Handle(len(a.flits))
+}
+
+// FreeFlit recycles a flit slot.
+func (a *Arena) FreeFlit(h Handle) {}
+
+// FreePacket recycles a packet slot.
+func (a *Arena) FreePacket(h Handle) {}
+
+// lastFlit is a debug probe, cleared at run teardown.
+var lastFlit *Flit //noclint:allow arenaescape debug probe cleared by the harness between runs
+
+// leak feeds the waived debug probe.
+func leak(a *Arena) {
+	f, _ := a.NewFlit()
+	//noclint:allow arenaescape debug probe cleared by the harness between runs
+	lastFlit = f
+}
+
+// doubleUse arithmetic on a freed handle is waived: the value is only
+// logged, never dereferenced.
+func doubleUse(a *Arena, h Handle) Handle {
+	a.FreeFlit(h)
+	return h + 1 //noclint:allow arenaescape freed handle is logged as an integer only
+}

@@ -1,0 +1,61 @@
+// Arena discipline violations: run-scoped flit/packet references parked
+// in package-level state (they alias recycled slots in the next run),
+// and a handle used after it was freed — directly and through a helper
+// that frees its argument, so the check must cross a call. noclint must
+// flag every one.
+package fixture
+
+// Flit mirrors the arena's flit record.
+type Flit struct{ ID int }
+
+// Packet mirrors the arena's packet record.
+type Packet struct{ ID int }
+
+// Handle mirrors the generation-tagged arena handle.
+type Handle uint64
+
+// Arena mirrors the run-scoped allocator by shape: a type named Arena
+// with FreeFlit and FreePacket methods marks this package's Flit,
+// Packet and Handle as run-scoped.
+type Arena struct{ flits []Flit }
+
+// NewFlit hands out a flit and its handle.
+func (a *Arena) NewFlit() (*Flit, Handle) {
+	a.flits = append(a.flits, Flit{})
+	return &a.flits[len(a.flits)-1], Handle(len(a.flits))
+}
+
+// FreeFlit recycles a flit slot.
+func (a *Arena) FreeFlit(h Handle) {}
+
+// FreePacket recycles a packet slot.
+func (a *Arena) FreePacket(h Handle) {}
+
+// lastFlit outlives the run that allocated it.
+var lastFlit *Flit
+
+// byID parks packet pointers in package state.
+var byID = map[int]*Packet{}
+
+// leak stores a run-scoped pointer into the package-level variable.
+func leak(a *Arena) {
+	f, _ := a.NewFlit()
+	lastFlit = f
+}
+
+// doubleUse touches a handle after freeing it directly.
+func doubleUse(a *Arena, h Handle) Handle {
+	a.FreeFlit(h)
+	return h + 1
+}
+
+// freeVia frees its argument; callers' later uses are stale.
+func freeVia(a *Arena, h Handle) {
+	a.FreeFlit(h)
+}
+
+// staleViaHelper frees through the helper, then frees again.
+func staleViaHelper(a *Arena, h Handle) {
+	freeVia(a, h)
+	a.FreeFlit(h)
+}

@@ -1,0 +1,51 @@
+// Clean arena usage: references stay function-local, every handle's
+// last touch is its Free, and rebinding a variable to a fresh
+// allocation clears its stale state. noclint must stay quiet.
+package fixture
+
+// Flit mirrors the arena's flit record.
+type Flit struct{ ID int }
+
+// Packet mirrors the arena's packet record.
+type Packet struct{ ID int }
+
+// Handle mirrors the generation-tagged arena handle.
+type Handle uint64
+
+// Arena mirrors the run-scoped allocator by shape.
+type Arena struct{ flits []Flit }
+
+// NewFlit hands out a flit and its handle.
+func (a *Arena) NewFlit() (*Flit, Handle) {
+	a.flits = append(a.flits, Flit{})
+	return &a.flits[len(a.flits)-1], Handle(len(a.flits))
+}
+
+// FreeFlit recycles a flit slot.
+func (a *Arena) FreeFlit(h Handle) {}
+
+// FreePacket recycles a packet slot.
+func (a *Arena) FreePacket(h Handle) {}
+
+// roundTrip keeps every reference inside one run and frees last.
+func roundTrip(a *Arena) int {
+	f, h := a.NewFlit()
+	f.ID = 7
+	id := f.ID
+	a.FreeFlit(h)
+	return id
+}
+
+// helperFree frees its argument for callers that are done with it.
+func helperFree(a *Arena, h Handle) {
+	a.FreeFlit(h)
+}
+
+// rebind frees through the helper, then rebinds the variable to a fresh
+// allocation before touching it again.
+func rebind(a *Arena) {
+	_, h := a.NewFlit()
+	helperFree(a, h)
+	_, h = a.NewFlit()
+	helperFree(a, h)
+}

@@ -1,0 +1,57 @@
+// The bad fixture's under-declared reads, each carrying a suppression
+// with a recorded reason. noclint must honor both waivers.
+package fixture
+
+// Direction is a self-contained mirror of the routing seam's port type.
+type Direction int
+
+// Coord locates a node on the mesh.
+type Coord struct{ X, Y int }
+
+// Mesh mirrors the topology intrinsics the walker models.
+type Mesh struct{ width, height int }
+
+// Coord maps a node id to its coordinates.
+func (m *Mesh) Coord(n int) Coord { return Coord{X: n % m.width, Y: n / m.width} }
+
+// View mirrors the per-router VC state snapshot.
+type View struct{ vcs int }
+
+// VCs returns the structural VC count (no facet needed).
+func (v *View) VCs() int { return v.vcs }
+
+// VCOwner is keyed by the Owner facet.
+func (v *View) VCOwner(dest, vc int) int { return dest + vc }
+
+// CacheSpec mirrors the fingerprint facet declaration.
+type CacheSpec struct {
+	Idle, Owner, RegOwner, Downstream, ColumnParity, DestClass bool
+}
+
+// Context mirrors the per-decision routing context.
+type Context struct {
+	Mesh *Mesh
+	View *View
+	Cur  int
+	Dest int
+}
+
+// Greedy claims its decisions depend only on idle state.
+type Greedy struct{ threshold int }
+
+// CacheSpec under-declares, with both extra reads waived below.
+func (g *Greedy) CacheSpec() (CacheSpec, bool) { return CacheSpec{Idle: true}, true }
+
+// Route carries waivers for its two inexpressible reads.
+func (g *Greedy) Route(ctx Context) Direction {
+	d := Direction(0)
+	//noclint:allow cacheread migration fixture: spec gains Owner next release
+	if ctx.View.VCOwner(ctx.Dest, 0) > g.threshold {
+		d++
+	}
+	//noclint:allow cacheread migration fixture: column special-case is being removed
+	if ctx.Mesh.Coord(ctx.Cur).X > 1 {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,87 @@
+// A Fingerprinter whose CacheSpec under-declares what its Route reads:
+// the spec admits only Idle, but the decision tree consults VC ownership
+// (through a helper, so the walk must cross a call) and the current
+// node's absolute column, which no facet can express. noclint must flag
+// both — either would let a cached decision diverge from a computed one.
+package fixture
+
+// Direction is a self-contained mirror of the routing seam's port type.
+type Direction int
+
+// Coord locates a node on the mesh.
+type Coord struct{ X, Y int }
+
+// Mesh mirrors the topology intrinsics the walker models.
+type Mesh struct{ width, height int }
+
+// Coord maps a node id to its coordinates.
+func (m *Mesh) Coord(n int) Coord { return Coord{X: n % m.width, Y: n / m.width} }
+
+// MinimalDirs mirrors the productive-direction query.
+func (m *Mesh) MinimalDirs(cur, dest int) (Direction, bool, Direction, bool) {
+	return 0, cur != dest, 0, false
+}
+
+// View mirrors the per-router VC state snapshot.
+type View struct{ vcs int }
+
+// VCs returns the structural VC count (no facet needed).
+func (v *View) VCs() int { return v.vcs }
+
+// VCIdle is keyed by the Idle facet.
+func (v *View) VCIdle(dest, vc int) bool { return dest >= 0 && vc >= 0 }
+
+// VCOwner is keyed by the Owner facet.
+func (v *View) VCOwner(dest, vc int) int { return dest + vc }
+
+// Rand mirrors the decision RNG seam.
+type Rand struct{ state uint64 }
+
+// Intn mirrors the seam's draw shape.
+func (r *Rand) Intn(n int) int { return int(r.state % uint64(n)) }
+
+// CacheSpec mirrors the fingerprint facet declaration.
+type CacheSpec struct {
+	Idle, Owner, RegOwner, Downstream, ColumnParity, DestClass bool
+}
+
+// Context mirrors the per-decision routing context.
+type Context struct {
+	Mesh  *Mesh
+	View  *View
+	Rand  *Rand
+	Cur   int
+	Dest  int
+	InDir Direction
+}
+
+// Greedy claims its decisions depend only on idle state.
+type Greedy struct{ threshold int }
+
+// CacheSpec under-declares: Route also reads ownership and position.
+func (g *Greedy) CacheSpec() (CacheSpec, bool) { return CacheSpec{Idle: true}, true }
+
+// Route reads VC ownership via a helper and the absolute column of the
+// current node.
+func (g *Greedy) Route(ctx Context) Direction {
+	d := Direction(0)
+	if maxOwner(ctx) > g.threshold {
+		d++
+	}
+	if ctx.Mesh.Coord(ctx.Cur).X > 1 {
+		d++
+	}
+	return d
+}
+
+// maxOwner reads the Owner facet; the finding lands here, inside the
+// helper the walk followed.
+func maxOwner(ctx Context) int {
+	max := 0
+	for vc := 0; vc < ctx.View.VCs(); vc++ {
+		if o := ctx.View.VCOwner(ctx.Dest, vc); o > max {
+			max = o
+		}
+	}
+	return max
+}

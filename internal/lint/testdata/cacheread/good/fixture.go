@@ -1,0 +1,88 @@
+// A Fingerprinter whose CacheSpec covers everything its Route reads:
+// idle state (through a helper), the column parity of the current node,
+// and otherwise only cur/dest offsets — which the fingerprint key packs
+// unconditionally. noclint must stay quiet.
+package fixture
+
+// Direction is a self-contained mirror of the routing seam's port type.
+type Direction int
+
+// Coord locates a node on the mesh.
+type Coord struct{ X, Y int }
+
+// Mesh mirrors the topology intrinsics the walker models.
+type Mesh struct{ width, height int }
+
+// Coord maps a node id to its coordinates.
+func (m *Mesh) Coord(n int) Coord { return Coord{X: n % m.width, Y: n / m.width} }
+
+// MinimalDirs mirrors the productive-direction query.
+func (m *Mesh) MinimalDirs(cur, dest int) (Direction, bool, Direction, bool) {
+	return 0, cur != dest, 0, false
+}
+
+// View mirrors the per-router VC state snapshot.
+type View struct{ vcs int }
+
+// VCs returns the structural VC count (no facet needed).
+func (v *View) VCs() int { return v.vcs }
+
+// VCIdle is keyed by the Idle facet.
+func (v *View) VCIdle(dest, vc int) bool { return dest >= 0 && vc >= 0 }
+
+// Rand mirrors the decision RNG seam.
+type Rand struct{ state uint64 }
+
+// Intn mirrors the seam's draw shape.
+func (r *Rand) Intn(n int) int { return int(r.state % uint64(n)) }
+
+// CacheSpec mirrors the fingerprint facet declaration.
+type CacheSpec struct {
+	Idle, Owner, RegOwner, Downstream, ColumnParity, DestClass bool
+}
+
+// Context mirrors the per-decision routing context.
+type Context struct {
+	Mesh  *Mesh
+	View  *View
+	Rand  *Rand
+	Cur   int
+	Dest  int
+	InDir Direction
+}
+
+// Parity keys on idle state and the current column's parity.
+type Parity struct{ pri int }
+
+// CacheSpec declares exactly what Route reads.
+func (p *Parity) CacheSpec() (CacheSpec, bool) {
+	return CacheSpec{Idle: true, ColumnParity: true}, true
+}
+
+// Route reads offsets, a declared parity, and a declared idle count.
+func (p *Parity) Route(ctx Context) Direction {
+	cc := ctx.Mesh.Coord(ctx.Cur)
+	dc := ctx.Mesh.Coord(ctx.Dest)
+	d := Direction(0)
+	if dc.X-cc.X > 0 {
+		d++
+	}
+	if cc.X%2 == 1 {
+		d++
+	}
+	if countIdle(ctx) > p.pri {
+		d++
+	}
+	return d
+}
+
+// countIdle reads the (declared) Idle facet through a helper.
+func countIdle(ctx Context) int {
+	n := 0
+	for vc := 0; vc < ctx.View.VCs(); vc++ {
+		if ctx.View.VCIdle(ctx.Dest, vc) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,29 @@
+// Wall-clock scheduling inside engine code: timers and tickers advance
+// on real time, so any state they touch depends on host speed, not on
+// the cycle count. noclint must flag every timer constructor, not just
+// direct clock reads.
+package fixture
+
+import "time"
+
+// drain polls a queue on a wall-clock cadence.
+func drain(q chan int) int {
+	total := 0
+	tick := time.Tick(time.Millisecond)
+	timer := time.NewTimer(time.Second)
+	for {
+		select {
+		case v := <-q:
+			total += v
+		case <-tick:
+			continue
+		case <-timer.C:
+			return total
+		}
+	}
+}
+
+// backoff sleeps between retries, stretching simulated work by host time.
+func backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}

@@ -1,0 +1,19 @@
+// The deterministic counterpart of a timer: cadence expressed in
+// cycles, advanced by the engine's own loop. No wall clock anywhere, so
+// the rule stays quiet.
+package fixture
+
+// cadence fires every period cycles of simulated time.
+type cadence struct {
+	period uint64
+	next   uint64
+}
+
+// due reports and reschedules a cycle-counted deadline.
+func (c *cadence) due(now uint64) bool {
+	if now < c.next {
+		return false
+	}
+	c.next = now + c.period
+	return true
+}

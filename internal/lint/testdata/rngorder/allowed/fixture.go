@@ -1,0 +1,37 @@
+// The bad fixture's off-seam draw carrying a suppression with a
+// recorded reason. noclint must honor the waiver.
+package fixture
+
+// Direction is a self-contained mirror of the routing seam's port type.
+type Direction int
+
+// Rand mirrors the decision RNG seam.
+type Rand struct{ state uint64 }
+
+// Intn mirrors the seam's draw shape.
+func (r *Rand) Intn(n int) int { return int(r.state % uint64(n)) }
+
+// localRand is a private generator outside the record/replay seam.
+type localRand struct{ state uint64 }
+
+// Intn draws from the hidden stream.
+func (r *localRand) Intn(n int) int { return int(r.state % uint64(n)) }
+
+// Context mirrors the per-decision routing context.
+type Context struct {
+	Rand *Rand
+	Cur  int
+	Dest int
+}
+
+// Jittered owns its own tie-break generator.
+type Jittered struct{ rng *localRand }
+
+// Route waives its off-seam draw: the algorithm never runs under the
+// cache in this configuration.
+func (j *Jittered) Route(ctx Context) Direction {
+	if j.rng.Intn(2) == 0 { //noclint:allow rngorder fixture alg is never registered as cacheable
+		return 1
+	}
+	return 0
+}

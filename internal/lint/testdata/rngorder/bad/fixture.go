@@ -1,0 +1,38 @@
+// A Route tree drawing from an algorithm-owned generator instead of the
+// injected decision RNG. The route cache records and replays only
+// ctx.Rand draws, so this draw would be skipped on a cache hit and every
+// later draw in the run would desync. noclint must flag it.
+package fixture
+
+// Direction is a self-contained mirror of the routing seam's port type.
+type Direction int
+
+// Rand mirrors the decision RNG seam.
+type Rand struct{ state uint64 }
+
+// Intn mirrors the seam's draw shape.
+func (r *Rand) Intn(n int) int { return int(r.state % uint64(n)) }
+
+// localRand is a private generator outside the record/replay seam.
+type localRand struct{ state uint64 }
+
+// Intn draws from the hidden stream.
+func (r *localRand) Intn(n int) int { return int(r.state % uint64(n)) }
+
+// Context mirrors the per-decision routing context.
+type Context struct {
+	Rand *Rand
+	Cur  int
+	Dest int
+}
+
+// Jittered owns its own tie-break generator.
+type Jittered struct{ rng *localRand }
+
+// Route draws from the receiver's generator, invisible to the recorder.
+func (j *Jittered) Route(ctx Context) Direction {
+	if j.rng.Intn(2) == 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,36 @@
+// A Route tree whose only draws flow through ctx.Rand — directly and
+// through a helper the walk must follow with argument binding. noclint
+// must stay quiet.
+package fixture
+
+// Direction is a self-contained mirror of the routing seam's port type.
+type Direction int
+
+// Rand mirrors the decision RNG seam.
+type Rand struct{ state uint64 }
+
+// Intn mirrors the seam's draw shape.
+func (r *Rand) Intn(n int) int { return int(r.state % uint64(n)) }
+
+// Context mirrors the per-decision routing context.
+type Context struct {
+	Rand *Rand
+	Cur  int
+	Dest int
+}
+
+// Fair breaks ties on the recorded stream only.
+type Fair struct{ bias int }
+
+// Route draws directly and through a helper, both on ctx.Rand.
+func (f *Fair) Route(ctx Context) Direction {
+	if ctx.Rand.Intn(2) == 0 {
+		return 0
+	}
+	return Direction(pick(ctx.Rand, 2))
+}
+
+// pick receives the seam RNG as an argument; the walk binds it.
+func pick(r *Rand, n int) int {
+	return r.Intn(n)
+}

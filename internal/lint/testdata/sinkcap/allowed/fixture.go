@@ -1,0 +1,45 @@
+// The bad fixture's unguarded sink calls, each carrying a suppression
+// with a recorded reason at the original call. noclint must honor both
+// waivers — including the one whose finding surfaces through a caller.
+package fixture
+
+// Packet is the event payload.
+type Packet struct{ ID int }
+
+// MetricsSink mirrors the capability-gated observer seam.
+type MetricsSink interface {
+	WantPacketEvents() bool
+	OnInject(now uint64, p *Packet)
+	WantRouteDecisions() bool
+	OnRouteDecision(now uint64, node int, p *Packet)
+}
+
+// Router caches the sink's capability answers at construction.
+type Router struct {
+	metrics    MetricsSink
+	wantEvents bool
+}
+
+// New wires the sink and caches its capability answer.
+func New(m MetricsSink) *Router {
+	r := &Router{metrics: m}
+	r.wantEvents = m != nil && m.WantPacketEvents()
+	return r
+}
+
+// Inject waives its unguarded event: this router only ever runs under a
+// benchmarking sink that always wants events.
+func (r *Router) Inject(now uint64, p *Packet) {
+	r.metrics.OnInject(now, p) //noclint:allow sinkcap bench-only router, sink always wants events
+}
+
+// emit waives the obligation at the sink call itself.
+func (r *Router) emit(now uint64, p *Packet) {
+	//noclint:allow sinkcap decision stream is mandatory in this fixture topology
+	r.metrics.OnRouteDecision(now, 0, p)
+}
+
+// Step calls emit; the waiver upstream covers the escaped obligation.
+func (r *Router) Step(now uint64, p *Packet) {
+	r.emit(now, p)
+}

@@ -1,0 +1,45 @@
+// MetricsSink calls outside their capability guards: a packet event
+// emitted without consulting the cached WantPacketEvents answer, and a
+// decision event whose guard obligation escapes through an unguarded
+// call site — the helper making the call is fine, its caller is not.
+// noclint must flag both, each at the original sink call.
+package fixture
+
+// Packet is the event payload.
+type Packet struct{ ID int }
+
+// MetricsSink mirrors the capability-gated observer seam.
+type MetricsSink interface {
+	WantPacketEvents() bool
+	OnInject(now uint64, p *Packet)
+	WantRouteDecisions() bool
+	OnRouteDecision(now uint64, node int, p *Packet)
+}
+
+// Router caches the sink's capability answers at construction.
+type Router struct {
+	metrics    MetricsSink
+	wantEvents bool
+}
+
+// New wires the sink and caches its capability answer.
+func New(m MetricsSink) *Router {
+	r := &Router{metrics: m}
+	r.wantEvents = m != nil && m.WantPacketEvents()
+	return r
+}
+
+// Inject emits a packet event without its guard.
+func (r *Router) Inject(now uint64, p *Packet) {
+	r.metrics.OnInject(now, p)
+}
+
+// emit centralizes decision emission; the guard is its callers' job.
+func (r *Router) emit(now uint64, p *Packet) {
+	r.metrics.OnRouteDecision(now, 0, p)
+}
+
+// Step calls emit without discharging the guard obligation.
+func (r *Router) Step(now uint64, p *Packet) {
+	r.emit(now, p)
+}

@@ -1,0 +1,86 @@
+// Capability-disciplined sink usage: every MetricsSink call sits under
+// its matching guard — a cached capability field, or a direct Want*
+// check dominating the helper call site that makes the sink call. Sink
+// implementations themselves (the no-op sink, the fan-out tee) are the
+// seam's plumbing and exempt. noclint must stay quiet.
+package fixture
+
+// Packet is the event payload.
+type Packet struct{ ID int }
+
+// MetricsSink mirrors the capability-gated observer seam.
+type MetricsSink interface {
+	WantPacketEvents() bool
+	OnInject(now uint64, p *Packet)
+	WantRouteDecisions() bool
+	OnRouteDecision(now uint64, node int, p *Packet)
+}
+
+// Router caches the sink's capability answers at construction.
+type Router struct {
+	metrics    MetricsSink
+	wantEvents bool
+}
+
+// New wires the sink and caches its capability answer.
+func New(m MetricsSink) *Router {
+	r := &Router{metrics: m}
+	r.wantEvents = m != nil && m.WantPacketEvents()
+	return r
+}
+
+// Inject emits a packet event under the cached capability guard.
+func (r *Router) Inject(now uint64, p *Packet) {
+	if r.wantEvents {
+		r.metrics.OnInject(now, p)
+	}
+}
+
+// emit centralizes decision emission; the guard is its callers' job.
+func (r *Router) emit(now uint64, p *Packet) {
+	r.metrics.OnRouteDecision(now, 0, p)
+}
+
+// Step discharges emit's guard obligation at the call site.
+func (r *Router) Step(now uint64, p *Packet) {
+	if r.metrics != nil && r.metrics.WantRouteDecisions() {
+		r.emit(now, p)
+	}
+}
+
+// NopSink absorbs everything; as a MetricsSink it is exempt plumbing.
+type NopSink struct{}
+
+// WantPacketEvents declines packet events.
+func (NopSink) WantPacketEvents() bool { return false }
+
+// OnInject drops the event.
+func (NopSink) OnInject(now uint64, p *Packet) {}
+
+// WantRouteDecisions declines decision events.
+func (NopSink) WantRouteDecisions() bool { return false }
+
+// OnRouteDecision drops the event.
+func (NopSink) OnRouteDecision(now uint64, node int, p *Packet) {}
+
+// tee fans every event out to two sinks; its unguarded forwarding calls
+// are the seam's own plumbing, exempt by implementing MetricsSink.
+type tee struct{ a, b MetricsSink }
+
+// WantPacketEvents wants events if either branch does.
+func (t tee) WantPacketEvents() bool { return t.a.WantPacketEvents() || t.b.WantPacketEvents() }
+
+// OnInject forwards to both branches.
+func (t tee) OnInject(now uint64, p *Packet) {
+	t.a.OnInject(now, p)
+	t.b.OnInject(now, p)
+}
+
+// WantRouteDecisions wants decisions if either branch does.
+func (t tee) WantRouteDecisions() bool { return t.a.WantRouteDecisions() || t.b.WantRouteDecisions() }
+
+// OnRouteDecision forwards to both branches.
+func (t tee) OnRouteDecision(now uint64, node int, p *Packet) {
+	t.a.OnRouteDecision(now, node, p)
+	t.b.OnRouteDecision(now, node, p)
+}
